@@ -1,0 +1,71 @@
+//! Criterion benches for the simulation substrate: trace generation,
+//! scenario assembly, single ticks per policy, and short end-to-end runs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use powersim::units::Seconds;
+use simkit::{PolicyKind, Recorder, Scenario};
+use workloads::wiki_trace::WikiTraceConfig;
+
+fn bench_workloads(c: &mut Criterion) {
+    c.bench_function("wiki_trace/generate_15min", |b| {
+        let cfg = WikiTraceConfig::paper_default();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(cfg.generate(seed).mean())
+        })
+    });
+    c.bench_function("scenario/build", |b| {
+        let sc = Scenario::paper_default(1);
+        b.iter(|| black_box(sc.build().rack.num_servers()))
+    });
+}
+
+fn bench_ticks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_tick");
+    for kind in PolicyKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            b.iter_batched(
+                || {
+                    let sc = Scenario::paper_default(3);
+                    (sc.build(), kind.build(), Recorder::with_capacity(16))
+                },
+                |(mut sim, mut policy, mut rec)| {
+                    for _ in 0..5 {
+                        sim.step(policy.as_mut(), &mut rec);
+                    }
+                    black_box(rec.len())
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_2min");
+    group.sample_size(10);
+    for kind in [PolicyKind::SprintCon, PolicyKind::SgctV1] {
+        group.bench_function(kind.name(), |b| {
+            b.iter_batched(
+                || {
+                    let mut sc = Scenario::paper_default(3);
+                    sc.duration = Seconds::minutes(2.0);
+                    (sc.clone(), sc.build(), kind.build())
+                },
+                |(sc, mut sim, mut policy)| {
+                    let rec = sim.run(policy.as_mut(), sc.duration);
+                    black_box(rec.ups_energy_wh())
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workloads, bench_ticks, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! A2 — ablation: MPC tuning — reference time constant `τ_r`, horizons
+//! `Lp`/`Lc` — plus the §V-C timing contract (allocator period vs
+//! controller settling time) and the closed-loop gain margin.
+
+use powersim::cpu::CoreRole;
+use powersim::rack::Rack;
+use powersim::units::{NormFreq, Utilization, Watts};
+use sprint_control::reference::discrete_settling_periods;
+use sprint_control::stability::{max_gain_ratio, scalar_pole, LoopParams};
+use sprintcon::{ServerPowerController, SprintConConfig};
+use sprintcon_bench::{banner, write_csv};
+
+fn rack(cfg: &SprintConConfig) -> Rack {
+    let mut rk = Rack::homogeneous(
+        cfg.server.clone(),
+        cfg.num_servers,
+        cfg.interactive_cores_per_server,
+    );
+    for id in rk.cores_with_role(CoreRole::Interactive) {
+        rk.set_util(id, Utilization(0.6));
+    }
+    for id in rk.cores_with_role(CoreRole::Batch) {
+        rk.set_util(id, Utilization(0.95));
+    }
+    rk
+}
+
+/// Run a 1.3→1.9 kW step and report (settling steps to 5%, overshoot W).
+fn step_response(cfg: &SprintConConfig) -> (usize, f64) {
+    let ctrl = ServerPowerController::new(cfg);
+    let mut rk = rack(cfg);
+    let utils = rk.interactive_util_vector();
+    let mut freqs: Vec<f64> = rk
+        .cores_with_role(CoreRole::Batch)
+        .iter()
+        .map(|&id| rk.freq(id).0)
+        .collect();
+    // Settle at 1300 W first.
+    for _ in 0..60 {
+        let d = ctrl.control(rk.power(), &utils, Watts(1300.0), &freqs);
+        let ids = rk.cores_with_role(CoreRole::Batch);
+        for (id, &f) in ids.iter().zip(&d.freqs) {
+            rk.set_freq(*id, NormFreq(f));
+        }
+        freqs = d.freqs;
+    }
+    let target = 1900.0;
+    let mut settle = 60;
+    let mut overshoot: f64 = 0.0;
+    for t in 0..60 {
+        let p_fb = ctrl.feedback_power(rk.power(), &utils);
+        overshoot = overshoot.max(p_fb.0 - target);
+        if (p_fb.0 - target).abs() < 0.05 * target && settle == 60 {
+            settle = t;
+        }
+        let d = ctrl.control(rk.power(), &utils, Watts(target), &freqs);
+        let ids = rk.cores_with_role(CoreRole::Batch);
+        for (id, &f) in ids.iter().zip(&d.freqs) {
+            rk.set_freq(*id, NormFreq(f));
+        }
+        freqs = d.freqs;
+    }
+    (settle, overshoot)
+}
+
+fn main() {
+    banner("Ablation A2 — τ_r / Lp / Lc sensitivity");
+    let mut rows = Vec::new();
+    println!("{:>6} {:>4} {:>4} {:>12} {:>12}", "tau_r", "Lp", "Lc", "settle s", "overshoot W");
+    for (tau, lp, lc) in [
+        (1.0, 8, 2),
+        (2.0, 8, 2),
+        (4.0, 8, 2), // the paper-default row
+        (8.0, 8, 2),
+        (16.0, 8, 2),
+        (4.0, 2, 1),
+        (4.0, 4, 2),
+        (4.0, 16, 4),
+    ] {
+        let mut cfg = SprintConConfig::paper_default();
+        cfg.mpc.tau_r = tau;
+        cfg.mpc.lp = lp;
+        cfg.mpc.lc = lc.min(lp);
+        let (settle, overshoot) = step_response(&cfg);
+        println!("{tau:>6.1} {lp:>4} {lc:>4} {settle:>12} {overshoot:>12.1}");
+        rows.push(vec![tau, lp as f64, lc as f64, settle as f64, overshoot]);
+    }
+    let path = write_csv(
+        "ablation_horizons.csv",
+        "tau_r,lp,lc,settle_s,overshoot_w",
+        &rows,
+    );
+    println!("csv: {}", path.display());
+
+    // Eq.(7) intuition: larger τ_r → smaller overshoot, slower settling.
+    let fast = &rows[0]; // tau 1
+    let slow = &rows[4]; // tau 16
+    assert!(slow[4] <= fast[4] + 30.0, "larger tau must not overshoot more");
+    assert!(slow[3] >= fast[3], "larger tau must not settle faster");
+
+    banner("§V-C analysis: closed-loop pole, gain margin, timing contract");
+    let cfg = SprintConConfig::paper_default();
+    let kappa = 60.0 * cfg.num_servers as f64; // aggregate model gain
+    let params = LoopParams {
+        lp: cfg.mpc.lp,
+        q: cfg.mpc.q,
+        r: cfg.mpc.r_scale,
+        kappa,
+        alpha: (-cfg.control_period.0 / cfg.mpc.tau_r).exp(),
+    };
+    let pole = scalar_pole(params, 1.0);
+    let gmax = max_gain_ratio(params);
+    let settle_periods = discrete_settling_periods(pole, 0.02).expect("stable loop");
+    println!("nominal closed-loop pole: {pole:.3}");
+    println!("allowed plant/model gain ratio: (0, {gmax:.2})");
+    println!(
+        "settling: {settle_periods} control periods ({}s) << allocator period {}s",
+        settle_periods as f64 * cfg.control_period.0,
+        cfg.allocator_period.0
+    );
+    assert!(pole.abs() < 1.0);
+    assert!(gmax > 1.5, "must tolerate sizeable model error");
+    assert!(
+        (settle_periods as f64) * cfg.control_period.0 <= cfg.allocator_period.0 / 2.0,
+        "the paper's timing contract: allocator much slower than settling"
+    );
+}

@@ -1,0 +1,72 @@
+//! Diagnostic dump of a SprintCon run (not a paper figure).
+
+use powersim::cpu::CoreRole;
+use simkit::{Policy, Recorder, Scenario, SprintConPolicy};
+
+fn main() {
+    let mut scenario = Scenario::paper_default(2019);
+    if let Some(d) = std::env::args().nth(2).and_then(|s| s.parse::<f64>().ok()) {
+        scenario = scenario.with_deadline(powersim::units::Seconds::minutes(d));
+    }
+    let mut sim = scenario.build();
+    let which = std::env::args().nth(1).unwrap_or_else(|| "sprintcon".into());
+    let mut policy: Box<dyn Policy> = match which.as_str() {
+        "sgct" => Box::new(simkit::SgctSimPolicy::new(baselines::SgctVariant::Uncontrolled)),
+        "v1" => Box::new(simkit::SgctSimPolicy::new(baselines::SgctVariant::V1Ideal)),
+        "v2" => Box::new(simkit::SgctSimPolicy::new(
+            baselines::SgctVariant::V2InteractivePriority,
+        )),
+        _ => Box::new(SprintConPolicy::paper_default()),
+    };
+    let policy = policy.as_mut();
+    let mut rec = Recorder::with_capacity(900);
+    println!(
+        "{:>5} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6} {:>8} {:>8}",
+        "t", "p_total", "cb", "ups", "soc", "f_bat", "f_int", "margin", "closed"
+    );
+    for k in 0..900 {
+        sim.step(policy, &mut rec);
+        if k % 30 == 0 || (595..=660).contains(&k) && k % 5 == 0 {
+            let s = rec.samples().last().unwrap();
+            let prog: f64 =
+                sim.jobs.iter().map(|j| j.progress()).sum::<f64>() / sim.jobs.len() as f64;
+            let needed = (k as f64 + 1.0) / 720.0;
+            let _ = (prog, needed);
+            println!(
+                "{:>5} {:>8.0} {:>8.0} {:>8.0} {:>8.3} {:>6.2} {:>6.2} {:>8.3} {:>8}",
+                k,
+                s.p_total.0,
+                s.cb_power.0,
+                s.ups_power.0,
+                s.ups_soc,
+                s.mean_freq_batch,
+                s.mean_freq_interactive,
+                s.breaker_margin,
+                s.breaker_closed as u8,
+            );
+        }
+    }
+    let met = sim
+        .jobs
+        .iter()
+        .filter(|j| matches!(j.first_completion, Some(t) if t.0 <= j.deadline.0))
+        .count();
+    println!("deadlines met: {met}/64");
+    let mut by_name: Vec<(String, f64)> = sim
+        .jobs
+        .iter()
+        .map(|j| {
+            (
+                j.name.clone(),
+                j.first_completion.map_or(99.0, |t| t.0 / j.deadline.0),
+            )
+        })
+        .collect();
+    by_name.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (n, r) in by_name.iter().take(8) {
+        println!("worst: {n} t/deadline={r:.3}");
+    }
+    let ids = sim.rack.cores_with_role(CoreRole::Batch);
+    let fs: Vec<f64> = ids.iter().map(|id| sim.rack.freq(*id).0).collect();
+    println!("final batch freqs: min={:.2} max={:.2}", fs.iter().cloned().fold(1e9, f64::min), fs.iter().cloned().fold(-1e9, f64::max));
+}

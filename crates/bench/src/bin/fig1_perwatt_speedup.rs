@@ -1,0 +1,70 @@
+//! E1 — Fig. 1: per-watt speedup vs processor frequency for the six
+//! sprinting workloads of [4].
+//!
+//! Paper claim: "the per-watt speedup decreases with the increase of
+//! processor frequency in general", for two reasons — non-CPU bottlenecks
+//! (captured by the memory-bound fraction of the progress model) and the
+//! superlinear frequency→power law. Y values are speedup over normalized
+//! *active* power, both relative to the 400 MHz floor.
+
+use powersim::cpu::CorePowerLaw;
+use powersim::units::{NormFreq, Utilization};
+use sprintcon_bench::{banner, write_csv};
+use workloads::spec_profiles::sprint_six;
+
+fn main() {
+    banner("Fig. 1 — per-watt speedup vs frequency (six sprinting workloads)");
+    let law = CorePowerLaw {
+        peak_active_watts: 12.19, // the paper-default server's core law
+        cubic_fraction: 0.7,
+        idle_watts: 0.0,
+    };
+    let f0 = 0.2;
+    let freqs: Vec<f64> = (0..=16).map(|i| 0.2 + 0.05 * i as f64).collect();
+    let profiles = sprint_six();
+
+    print!("{:>6}", "freq");
+    for p in &profiles {
+        print!(" {:>10}", p.name);
+    }
+    println!();
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let p_ref = law.active_power(NormFreq(f0), Utilization::FULL);
+    for &f in &freqs {
+        let p_rel = law.active_power(NormFreq(f), Utilization::FULL) / p_ref;
+        let mut row = vec![f];
+        print!("{f:>6.2}");
+        for prof in &profiles {
+            let speedup = prof.progress_model().speedup(f0, f);
+            let per_watt = speedup / p_rel;
+            row.push(per_watt);
+            print!(" {per_watt:>10.3}");
+        }
+        println!();
+        rows.push(row);
+    }
+    let header = std::iter::once("freq".to_string())
+        .chain(profiles.iter().map(|p| p.name.to_string()))
+        .collect::<Vec<_>>()
+        .join(",");
+    let path = write_csv("fig1_perwatt_speedup.csv", &header, &rows);
+    println!("\ncsv: {}", path.display());
+
+    // The paper's qualitative claim, checked numerically.
+    let mut all_decreasing = true;
+    for (ci, prof) in profiles.iter().enumerate() {
+        let first = rows.first().unwrap()[ci + 1];
+        let last = rows.last().unwrap()[ci + 1];
+        if last >= first {
+            all_decreasing = false;
+        }
+        println!(
+            "{:<10}: per-watt speedup {:.2} @0.2f -> {:.2} @1.0f  ({})",
+            prof.name,
+            first,
+            last,
+            if last < first { "decreasing, as Fig. 1" } else { "NOT decreasing" }
+        );
+    }
+    assert!(all_decreasing, "Fig. 1 shape violated");
+}

@@ -1,0 +1,37 @@
+//! E2 — Fig. 2: the circuit-breaker trip-time curve (Bulletin 1489-A
+//! shape): trip time as a nonlinear decreasing function of overload.
+//!
+//! Calibrated operating point from [2]/§VI-A: a 1.25 overload trips after
+//! 150 s; recovery from near-trip takes at most 300 s.
+
+use powersim::breaker::BreakerSpec;
+use sprintcon_bench::{banner, write_csv};
+
+fn main() {
+    banner("Fig. 2 — circuit breaker trip-time curve");
+    let spec = BreakerSpec::paper_default();
+    println!("rated: {}   trip heat budget: {:.2}", spec.rated, spec.trip_heat);
+    println!("{:>9} {:>12}", "overload", "trip time s");
+    let mut rows = Vec::new();
+    let overloads = [
+        1.01, 1.05, 1.1, 1.15, 1.2, 1.25, 1.3, 1.4, 1.5, 1.75, 2.0, 2.5, 3.0, 4.0, 5.0, 6.0,
+    ];
+    for &o in &overloads {
+        let t = spec.trip_time(o);
+        println!("{o:>9.2} {:>12.1}", t.0);
+        rows.push(vec![o, t.0]);
+    }
+    let path = write_csv("fig2_trip_curve.csv", "overload,trip_time_s", &rows);
+    println!("\ncsv: {}", path.display());
+
+    // Shape checks matching the figure.
+    assert!((spec.trip_time(1.25).0 - 150.0).abs() < 1e-6, "calibration point");
+    for w in rows.windows(2) {
+        assert!(w[1][1] < w[0][1], "must be strictly decreasing");
+    }
+    // Nonlinearity: the drop from 1.05→1.25 dwarfs the drop from 3→6.
+    let d_low = spec.trip_time(1.05).0 - spec.trip_time(1.25).0;
+    let d_high = spec.trip_time(3.0).0 - spec.trip_time(6.0).0;
+    assert!(d_low > 50.0 * d_high);
+    println!("recovery from near-trip: {}", spec.recovery_time_from(spec.trip_heat));
+}

@@ -1,0 +1,103 @@
+//! E5 — Fig. 6: power behaviour of SprintCon vs SGCT-V1 vs SGCT-V2.
+//!
+//! Paper claims: (a) SprintCon rides the CB at its budget (4.0 kW during
+//! overload windows, 3.2 kW during recovery) and uses the UPS only for
+//! the fluctuating gap, so its Total curve follows the interactive
+//! workload; (b)(c) the V1/V2 baselines hold the *total* nearly flat at
+//! the sprint budget, alternating CB overload and UPS discharge as the
+//! source of sprint power.
+
+use simkit::ascii_plot::multi_chart;
+use simkit::{run_policy, PolicyKind, Scenario};
+use sprintcon_bench::{banner, write_csv};
+
+fn main() {
+    let scenario = Scenario::paper_default(2019);
+    for (tag, kind) in [
+        ("a-sprintcon", PolicyKind::SprintCon),
+        ("b-sgct-v1", PolicyKind::SgctV1),
+        ("c-sgct-v2", PolicyKind::SgctV2),
+    ] {
+        banner(&format!("Fig. 6({}) — {}", &tag[..1], kind.name()));
+        let (rec, summary) = run_policy(&scenario, kind);
+        let cb: Vec<f64> = rec.samples().iter().map(|s| s.cb_power.0).collect();
+        let total: Vec<f64> = rec.samples().iter().map(|s| s.p_total.0).collect();
+        let budget: Vec<f64> = rec
+            .samples()
+            .iter()
+            .map(|s| s.p_cb_target.map_or(0.0, |w| w.0))
+            .collect();
+        println!(
+            "{}",
+            multi_chart(
+                &format!("{} power (W)", kind.name()),
+                &[("CB actual", &cb), ("Total", &total), ("CB budget", &budget)],
+                76,
+                12,
+            )
+        );
+        let rows: Vec<Vec<f64>> = rec
+            .samples()
+            .iter()
+            .map(|s| {
+                vec![
+                    s.t.0,
+                    s.p_total.0,
+                    s.cb_power.0,
+                    s.ups_power.0,
+                    s.p_cb_target.map_or(f64::NAN, |w| w.0),
+                ]
+            })
+            .collect();
+        let path = write_csv(
+            &format!("fig6{tag}.csv"),
+            "t_s,p_total_w,cb_w,ups_w,cb_budget_w",
+            &rows,
+        );
+        println!("csv: {}   trips: {}   UPS energy: {:.1} Wh", path.display(), summary.trips, summary.ups_energy_wh);
+
+        // Quantified shape checks.
+        let sd = |v: &[f64]| {
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            (v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / v.len() as f64).sqrt()
+        };
+        match kind {
+            PolicyKind::SprintCon => {
+                // CB actual tracks its two-level budget. The one-period
+                // measurement delay lets isolated demand spikes leak onto
+                // the breaker for a single control period (the paper's
+                // loop has the same structure), so the check bounds the
+                // *frequency and size* of transients: almost every sample
+                // within the duty-step slack, excursions rare and small
+                // enough that the thermal integrator never notices.
+                let mut above = 0usize;
+                for s in rec.samples() {
+                    let b = s.p_cb_target.unwrap().0;
+                    if s.cb_power.0 > b + 60.0 {
+                        above += 1;
+                        assert!(
+                            s.cb_power.0 <= b + 400.0,
+                            "CB {} far above budget {b}",
+                            s.cb_power
+                        );
+                    }
+                }
+                let frac = above as f64 / rec.len() as f64;
+                println!("transient budget excursions: {above} samples ({:.1}%)", frac * 100.0);
+                assert!(frac < 0.03, "excursions must be rare: {frac}");
+                assert_eq!(summary.trips, 0);
+                // Total fluctuates with the interactive workload: visibly
+                // more variable than the baselines' totals.
+                println!("total-power sd: {:.1} W (fluctuates with workload)", sd(&total));
+            }
+            _ => {
+                // Baselines: total nearly flat at the sprint budget while
+                // the breaker alternates.
+                let mid: Vec<f64> = total.iter().copied().skip(30).collect();
+                println!("total-power sd: {:.1} W (nearly flat)", sd(&mid));
+                assert_eq!(summary.trips, 0, "ideal baselines must not trip");
+            }
+        }
+    }
+    println!("\npaper: SprintCon total follows the workload; V1/V2 totals nearly flat at 4 kW.");
+}

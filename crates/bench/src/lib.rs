@@ -1,0 +1,35 @@
+//! # sprintcon-bench — figure regeneration harness
+//!
+//! One binary per paper artifact (see DESIGN.md §4's experiment index);
+//! each prints the series/rows as aligned text and writes CSV under
+//! `target/figures/`. The criterion benches in `benches/` measure the
+//! hot paths (QP/MPC solves, simulation ticks, end-to-end runs).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+
+/// Directory where figure binaries drop their CSV output.
+pub fn figures_dir() -> PathBuf {
+    let dir = PathBuf::from("target/figures");
+    std::fs::create_dir_all(&dir).expect("create target/figures");
+    dir
+}
+
+/// Write a simple CSV from a header and rows of f64 columns.
+pub fn write_csv(name: &str, header: &str, rows: &[Vec<f64>]) -> PathBuf {
+    use std::io::Write;
+    let path = figures_dir().join(name);
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&path).expect("create csv"));
+    writeln!(f, "{header}").unwrap();
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|v| format!("{v:.6}")).collect();
+        writeln!(f, "{}", line.join(",")).unwrap();
+    }
+    path
+}
+
+/// Print a section banner.
+pub fn banner(title: &str) {
+    println!("\n==== {title} ====");
+}

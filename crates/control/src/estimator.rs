@@ -1,0 +1,212 @@
+//! Recursive least-squares (RLS) estimation of power-model parameters.
+//!
+//! The controller's linear model (Eq. (2)) is calibrated offline, but the
+//! true gains drift with utilization, temperature, and job mix. An RLS
+//! estimator with exponential forgetting lets SprintCon refresh `K` (and
+//! the offset `C`) online from the `(Δf, Δp)` pairs every control period
+//! already produces — the adaptive-MPC extension exercised by the
+//! ablation benches.
+
+use crate::linalg::Mat;
+
+/// RLS estimator for `y = θᵀx` with exponential forgetting.
+#[derive(Debug, Clone)]
+pub struct Rls {
+    /// Current parameter estimate θ.
+    theta: Vec<f64>,
+    /// Inverse covariance P.
+    p: Mat,
+    /// Forgetting factor λ ∈ (0, 1]; 1 = infinite memory.
+    pub lambda: f64,
+    /// Updates performed.
+    pub updates: usize,
+}
+
+impl Rls {
+    /// Start from an initial guess with confidence `1/p0` (large `p0` =
+    /// weak prior, fast early adaptation).
+    pub fn new(theta0: Vec<f64>, p0: f64, lambda: f64) -> Self {
+        assert!(!theta0.is_empty());
+        assert!(p0 > 0.0, "prior covariance must be positive");
+        assert!(lambda > 0.0 && lambda <= 1.0, "forgetting factor in (0,1]");
+        let n = theta0.len();
+        Rls {
+            theta: theta0,
+            p: Mat::identity(n).scale(p0),
+            lambda,
+            updates: 0,
+        }
+    }
+
+    pub fn theta(&self) -> &[f64] {
+        &self.theta
+    }
+
+    pub fn dim(&self) -> usize {
+        self.theta.len()
+    }
+
+    /// Predicted output for regressor `x`.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        crate::linalg::dot(&self.theta, x)
+    }
+
+    /// Incorporate one observation `(x, y)`; returns the prediction error
+    /// before the update (the innovation).
+    pub fn update(&mut self, x: &[f64], y: f64) -> f64 {
+        let n = self.dim();
+        assert_eq!(x.len(), n);
+        let innovation = y - self.predict(x);
+        // K = P·x / (λ + xᵀP·x)
+        let px = self.p.matvec(x);
+        let denom = self.lambda + crate::linalg::dot(x, &px);
+        let k: Vec<f64> = px.iter().map(|v| v / denom).collect();
+        for i in 0..n {
+            self.theta[i] += k[i] * innovation;
+        }
+        // P ← (P − K·xᵀP) / λ
+        let xp = self.p.matvec_t(x); // xᵀP (row), P symmetric ⇒ = P·x
+        for i in 0..n {
+            for j in 0..n {
+                self.p[(i, j)] = (self.p[(i, j)] - k[i] * xp[j]) / self.lambda;
+            }
+        }
+        self.updates += 1;
+        innovation
+    }
+}
+
+/// Convenience wrapper: estimate the scalar aggregate power gain `κ` and
+/// offset drift from `(Δf, Δp)` pairs — the Eq. (4) difference model.
+#[derive(Debug, Clone)]
+pub struct GainEstimator {
+    rls: Rls,
+    /// Clamp range keeping the estimate physically sane.
+    pub kappa_min: f64,
+    pub kappa_max: f64,
+}
+
+impl GainEstimator {
+    pub fn new(kappa0: f64, kappa_min: f64, kappa_max: f64) -> Self {
+        assert!(kappa_min > 0.0 && kappa_min <= kappa0 && kappa0 <= kappa_max);
+        GainEstimator {
+            // θ = [κ, bias]; regressor [Δf, 1].
+            rls: Rls::new(vec![kappa0, 0.0], 100.0, 0.98),
+            kappa_min,
+            kappa_max,
+        }
+    }
+
+    /// Feed one control period's actuation/response pair.
+    pub fn observe(&mut self, delta_f: f64, delta_p: f64) {
+        // Skip informationless samples; RLS with forgetting diverges on a
+        // long run of zero regressors.
+        if delta_f.abs() < 1e-6 {
+            return;
+        }
+        self.rls.update(&[delta_f, 1.0], delta_p);
+    }
+
+    /// Current clamped gain estimate.
+    pub fn kappa(&self) -> f64 {
+        self.rls.theta()[0].clamp(self.kappa_min, self.kappa_max)
+    }
+
+    pub fn updates(&self) -> usize {
+        self.rls.updates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_model() {
+        let mut rls = Rls::new(vec![0.0, 0.0], 1000.0, 1.0);
+        // y = 3x₁ − 2x₂, noiseless.
+        let pts = [
+            ([1.0, 0.0], 3.0),
+            ([0.0, 1.0], -2.0),
+            ([1.0, 1.0], 1.0),
+            ([2.0, -1.0], 8.0),
+            ([0.5, 0.5], 0.5),
+        ];
+        // Cycle the data enough for the (weak) prior to wash out.
+        for _ in 0..200 {
+            for (x, y) in pts {
+                rls.update(&x, y);
+            }
+        }
+        assert!((rls.theta()[0] - 3.0).abs() < 1e-4);
+        assert!((rls.theta()[1] + 2.0).abs() < 1e-4);
+        // Prediction error now ~0:  3·4 − 2·4 = 4.
+        assert!((rls.predict(&[4.0, 4.0]) - 4.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn forgetting_tracks_a_changing_gain() {
+        let mut est = GainEstimator::new(40.0, 5.0, 300.0);
+        // Phase 1: true gain 60.
+        let phase = |est: &mut GainEstimator, kappa: f64| {
+            for i in 0..200 {
+                let df = 0.1 * ((i as f64) * 0.7).sin();
+                est.observe(df, kappa * df);
+            }
+        };
+        phase(&mut est, 60.0);
+        assert!((est.kappa() - 60.0).abs() < 2.0, "kappa={}", est.kappa());
+        // Phase 2: plant changes to 90; the estimator follows.
+        phase(&mut est, 90.0);
+        assert!((est.kappa() - 90.0).abs() < 3.0, "kappa={}", est.kappa());
+    }
+
+    #[test]
+    fn noisy_observations_average_out() {
+        let mut est = GainEstimator::new(50.0, 5.0, 300.0);
+        let mut noise_state = 12345u64;
+        let mut noise = || {
+            noise_state ^= noise_state << 13;
+            noise_state ^= noise_state >> 7;
+            noise_state ^= noise_state << 17;
+            ((noise_state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 4.0
+        };
+        for i in 0..500 {
+            let df = 0.15 * ((i as f64) * 1.3).sin();
+            est.observe(df, 70.0 * df + noise());
+        }
+        assert!((est.kappa() - 70.0).abs() < 6.0, "kappa={}", est.kappa());
+    }
+
+    #[test]
+    fn zero_actuation_is_ignored() {
+        let mut est = GainEstimator::new(50.0, 5.0, 300.0);
+        for _ in 0..1000 {
+            est.observe(0.0, 3.0); // pure disturbance, no excitation
+        }
+        assert_eq!(est.updates(), 0);
+        assert_eq!(est.kappa(), 50.0);
+    }
+
+    #[test]
+    fn clamping_keeps_estimates_physical() {
+        let mut est = GainEstimator::new(50.0, 20.0, 100.0);
+        // Adversarial data implying a negative gain.
+        for i in 0..100 {
+            let df = 0.1 * if i % 2 == 0 { 1.0 } else { -1.0 };
+            est.observe(df, -200.0 * df);
+        }
+        assert_eq!(est.kappa(), 20.0);
+    }
+
+    #[test]
+    fn innovation_shrinks_with_learning() {
+        let mut rls = Rls::new(vec![0.0], 100.0, 1.0);
+        let first = rls.update(&[1.0], 5.0).abs();
+        let mut last = first;
+        for _ in 0..20 {
+            last = rls.update(&[1.0], 5.0).abs();
+        }
+        assert!(last < first * 1e-3);
+    }
+}

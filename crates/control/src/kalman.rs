@@ -1,0 +1,187 @@
+//! Scalar Kalman filtering for power measurements.
+//!
+//! The rack power monitor is noisy (§V-A) and the UPS controller acts on
+//! it deadbeat, so measurement noise flows straight into the duty-cycle
+//! command. A steady-state scalar Kalman filter over a random-walk power
+//! model gives the optimal smoothing for that pipeline: the filter's gain
+//! balances how fast real power wanders (process variance) against how
+//! noisy the monitor is (measurement variance). Exposed as an optional
+//! stage in front of the UPS controller and benchmarked against raw
+//! feed-through.
+
+/// Scalar Kalman filter with a random-walk state model:
+/// `x_{t+1} = x_t + w,  w ~ N(0, q)`;  `z_t = x_t + v,  v ~ N(0, r)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Kalman1d {
+    /// Process variance `q` (how much real power moves per period²).
+    pub q: f64,
+    /// Measurement variance `r`.
+    pub r: f64,
+    /// State estimate.
+    x: f64,
+    /// Estimate variance.
+    p: f64,
+    initialized: bool,
+}
+
+impl Kalman1d {
+    pub fn new(q: f64, r: f64) -> Self {
+        assert!(q > 0.0 && r >= 0.0, "variances must be positive");
+        Kalman1d {
+            q,
+            r,
+            x: 0.0,
+            p: 1e12, // diffuse prior: the first measurement is adopted
+            initialized: false,
+        }
+    }
+
+    /// Current estimate (0 before the first update).
+    pub fn estimate(&self) -> f64 {
+        self.x
+    }
+
+    /// Current estimate variance.
+    pub fn variance(&self) -> f64 {
+        self.p
+    }
+
+    /// The steady-state gain this (q, r) pair converges to:
+    /// `K∞ = (−q + √(q² + 4qr)) / (2r)` for the random-walk model.
+    pub fn steady_state_gain(&self) -> f64 {
+        if self.r == 0.0 {
+            return 1.0;
+        }
+        (-self.q + (self.q * self.q + 4.0 * self.q * self.r).sqrt()) / (2.0 * self.r)
+    }
+
+    /// Incorporate one measurement; returns the new estimate.
+    pub fn update(&mut self, z: f64) -> f64 {
+        if !self.initialized {
+            self.x = z;
+            self.p = self.r;
+            self.initialized = true;
+            return self.x;
+        }
+        // Predict.
+        let p_pred = self.p + self.q;
+        // Update.
+        let k = if p_pred + self.r == 0.0 {
+            1.0
+        } else {
+            p_pred / (p_pred + self.r)
+        };
+        self.x += k * (z - self.x);
+        self.p = (1.0 - k) * p_pred;
+        self.x
+    }
+
+    /// Reset to the uninitialized state.
+    pub fn reset(&mut self) {
+        self.x = 0.0;
+        self.p = 1e12;
+        self.initialized = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise(seed: &mut u64) -> f64 {
+        // Cheap deterministic ~N(0,1): sum of 12 uniforms − 6.
+        let mut s = 0.0;
+        for _ in 0..12 {
+            *seed ^= *seed << 13;
+            *seed ^= *seed >> 7;
+            *seed ^= *seed << 17;
+            s += (*seed >> 11) as f64 / (1u64 << 53) as f64;
+        }
+        s - 6.0
+    }
+
+    #[test]
+    fn adopts_first_measurement() {
+        let mut f = Kalman1d::new(1.0, 100.0);
+        assert_eq!(f.update(3456.0), 3456.0);
+    }
+
+    #[test]
+    fn converges_on_a_constant_signal() {
+        let mut f = Kalman1d::new(0.5, 400.0);
+        let mut seed = 99u64;
+        let truth = 3200.0;
+        let mut last = 0.0;
+        for _ in 0..500 {
+            last = f.update(truth + 20.0 * noise(&mut seed));
+        }
+        assert!((last - truth).abs() < 15.0, "est={last}");
+        // Variance settles near the algebraic steady state
+        // p∞ = K∞·r for the random-walk filter.
+        let k = f.steady_state_gain();
+        assert!((f.variance() - k * f.r).abs() < 0.05 * k * f.r);
+    }
+
+    #[test]
+    fn filtering_beats_raw_measurements_in_rms() {
+        let mut f = Kalman1d::new(1.0, 900.0); // sd 30 W noise
+        let mut seed = 7u64;
+        let mut raw_se = 0.0;
+        let mut filt_se = 0.0;
+        let n = 5000;
+        for k in 0..n {
+            // Slowly wandering truth (rate ≪ the filter's tracking rate,
+            // which is where smoothing pays off).
+            let truth = 3400.0 + 150.0 * ((k as f64) * 0.002).sin();
+            let z = truth + 30.0 * noise(&mut seed);
+            let est = f.update(z);
+            raw_se += (z - truth).powi(2);
+            filt_se += (est - truth).powi(2);
+        }
+        let (raw, filt) = ((raw_se / n as f64).sqrt(), (filt_se / n as f64).sqrt());
+        assert!(
+            filt < raw * 0.6,
+            "filter must cut RMS well below raw: {filt:.1} vs {raw:.1}"
+        );
+    }
+
+    #[test]
+    fn tracks_steps_with_bounded_lag() {
+        let mut f = Kalman1d::new(25.0, 400.0);
+        for _ in 0..100 {
+            f.update(3200.0);
+        }
+        // Step to 4000: the filter must cover 90% of the step within a
+        // few dozen periods for this q/r.
+        let mut steps = 0;
+        loop {
+            f.update(4000.0);
+            steps += 1;
+            if f.estimate() > 3920.0 {
+                break;
+            }
+            assert!(steps < 60, "too slow: est={}", f.estimate());
+        }
+    }
+
+    #[test]
+    fn steady_state_gain_limits() {
+        // r → 0: trust measurements fully.
+        assert!((Kalman1d::new(1.0, 0.0).steady_state_gain() - 1.0).abs() < 1e-12);
+        // Huge r relative to q: tiny gain.
+        assert!(Kalman1d::new(0.01, 1e6).steady_state_gain() < 0.01);
+        // Gain grows with process variance.
+        let slow = Kalman1d::new(0.1, 100.0).steady_state_gain();
+        let fast = Kalman1d::new(10.0, 100.0).steady_state_gain();
+        assert!(fast > slow);
+    }
+
+    #[test]
+    fn reset_restores_diffuse_prior() {
+        let mut f = Kalman1d::new(1.0, 100.0);
+        f.update(5000.0);
+        f.update(5000.0);
+        f.reset();
+        assert_eq!(f.update(100.0), 100.0, "first post-reset sample adopted");
+    }
+}

@@ -1,0 +1,42 @@
+//! # sprint-control — control-theory toolbox
+//!
+//! The feedback-control machinery SprintCon is built on, implemented from
+//! scratch (no offline linalg/QP crates exist in this environment):
+//!
+//! * [`linalg`] — small dense matrices, Cholesky solves, spectral-radius
+//!   estimation.
+//! * [`qp`] — box-constrained convex QP: accelerated projected gradient
+//!   plus a coordinate-descent reference solver, certified by the
+//!   projected-KKT residual.
+//! * [`mpc`] — the Model Predictive Controller of §V-B: Eq. (7) reference
+//!   trajectory, Eq. (8) cost, Eq. (9) box constraints, per-channel
+//!   progress weights.
+//! * [`pid`] — classical PID with anti-windup, for the MPC-vs-PID
+//!   ablation.
+//! * [`reference`] — exponential references and settling-time estimates
+//!   (the §V-C allocator/controller timing contract).
+//! * [`stability`] — closed-loop pole analysis under model error (§V-C).
+//! * [`estimator`] — recursive least squares for online gain adaptation.
+//! * [`kalman`] — scalar Kalman smoothing for noisy power measurements.
+
+#![forbid(unsafe_code)]
+
+pub mod estimator;
+pub mod kalman;
+pub mod linalg;
+pub mod mpc;
+pub mod pid;
+pub mod qp;
+pub mod reference;
+pub mod stability;
+
+pub use estimator::{GainEstimator, Rls};
+pub use kalman::Kalman1d;
+pub use linalg::Mat;
+pub use mpc::{MpcConfig, MpcController, MpcDecision};
+pub use pid::{Pid, PidConfig};
+pub use qp::{QpProblem, QpSolution};
+pub use reference::{discrete_settling_periods, settling_time, ExpReference};
+pub use stability::{
+    max_gain_ratio, mimo_closed_loop, mimo_spectral_radius, scalar_pole, scalar_stable, LoopParams,
+};

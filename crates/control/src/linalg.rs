@@ -1,0 +1,401 @@
+//! Small dense linear algebra.
+//!
+//! The MPC and stability machinery needs matrices of a few hundred
+//! elements at most (decision dimension = batch cores × control horizon).
+//! No offline linalg crate is available, so this module provides exactly
+//! what the rest of the crate uses: row-major dense matrices, the usual
+//! products, Cholesky factorization for SPD solves, and Frobenius norms.
+//! Everything is `f64`, allocation-explicit, and panics on shape errors —
+//! shape bugs are programmer errors, not runtime conditions.
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// Row-major dense matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    pub fn identity(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from nested rows; all rows must share a length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty() && !rows[0].is_empty());
+        let cols = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
+        Mat {
+            rows: rows.len(),
+            cols,
+            data: rows.iter().flatten().copied().collect(),
+        }
+    }
+
+    /// Diagonal matrix from a slice.
+    pub fn diag(d: &[f64]) -> Self {
+        let mut m = Mat::zeros(d.len(), d.len());
+        for (i, &v) in d.iter().enumerate() {
+            m[(i, i)] = v;
+        }
+        m
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    pub fn transpose(&self) -> Mat {
+        let mut t = Mat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix–vector product.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, x.len(), "matvec shape mismatch");
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+
+    /// `self.transpose().matvec(x)` without materializing the transpose.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.rows, x.len(), "matvec_t shape mismatch");
+        let mut y = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for j in 0..self.cols {
+                y[j] += row[j] * x[i];
+            }
+        }
+        y
+    }
+
+    pub fn scale(&self, s: f64) -> Mat {
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| v * s).collect(),
+        }
+    }
+
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite
+    /// matrix; returns the lower factor, or `None` if the matrix is not
+    /// (numerically) SPD.
+    pub fn cholesky(&self) -> Option<Mat> {
+        assert!(self.is_square(), "cholesky needs a square matrix");
+        let n = self.rows;
+        let mut l = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 1e-14 {
+                        return None;
+                    }
+                    l[(i, i)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Some(l)
+    }
+
+    /// Solve `A·x = b` for SPD `A` via Cholesky; `None` if not SPD.
+    pub fn solve_spd(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, b.len(), "solve shape mismatch");
+        let l = self.cholesky()?;
+        let n = self.rows;
+        // Forward substitution L·y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= l[(i, k)] * y[k];
+            }
+            y[i] = s / l[(i, i)];
+        }
+        // Back substitution Lᵀ·x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in i + 1..n {
+                s -= l[(k, i)] * x[k];
+            }
+            x[i] = s / l[(i, i)];
+        }
+        Some(x)
+    }
+
+    /// Largest eigenvalue magnitude (spectral radius) estimate via the
+    /// normalized-power-of-the-matrix method: `ρ(A) ≈ ‖Aᵏ·v‖` growth rate.
+    /// Deterministic; accurate to a few percent for the small systems the
+    /// stability analysis checks, including complex-pair spectra.
+    pub fn spectral_radius_estimate(&self, iterations: usize) -> f64 {
+        assert!(self.is_square());
+        let n = self.rows;
+        // Deterministic pseudo-random start vector with all components
+        // nonzero (avoids starting orthogonal to the dominant subspace).
+        let mut v: Vec<f64> = (0..n).map(|i| 1.0 + 0.3 * ((i as f64) * 1.7).sin()).collect();
+        let norm0 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        for x in v.iter_mut() {
+            *x /= norm0;
+        }
+        let mut log_growth = 0.0;
+        let iters = iterations.max(8);
+        for _ in 0..iters {
+            let w = self.matvec(&v);
+            let norm = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm < 1e-300 {
+                return 0.0;
+            }
+            log_growth += norm.ln();
+            v = w.into_iter().map(|x| x / norm).collect();
+        }
+        (log_growth / iters as f64).exp()
+    }
+}
+
+impl Index<(usize, usize)> for Mat {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Mul<&Mat> for &Mat {
+    type Output = Mat;
+    fn mul(self, rhs: &Mat) -> Mat {
+        assert_eq!(self.cols, rhs.rows, "matmul shape mismatch");
+        let mut out = Mat::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Add<&Mat> for &Mat {
+    type Output = Mat;
+    fn add(self, rhs: &Mat) -> Mat {
+        assert!(self.rows == rhs.rows && self.cols == rhs.cols, "shape mismatch");
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+        }
+    }
+}
+
+impl Sub<&Mat> for &Mat {
+    type Output = Mat;
+    fn sub(self, rhs: &Mat) -> Mat {
+        assert!(self.rows == rhs.rows && self.cols == rhs.cols, "shape mismatch");
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                write!(f, "{:>10.4} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot shape mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y ← y + alpha·x`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy shape mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean norm.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Infinity norm.
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let i = Mat::identity(2);
+        assert_eq!(&a * &i, a);
+        assert_eq!(&i * &a, a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let b = Mat::from_rows(&[vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]]);
+        let c = &a * &b;
+        assert_eq!(c, Mat::from_rows(&[vec![58.0, 64.0], vec![139.0, 154.0]]));
+    }
+
+    #[test]
+    fn matvec_and_transpose_agree() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let x = vec![1.0, -1.0];
+        assert_eq!(a.matvec(&x), vec![-1.0, -1.0, -1.0]);
+        let y = vec![1.0, 0.0, 2.0];
+        assert_eq!(a.matvec_t(&y), a.transpose().matvec(&y));
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0]]);
+        let b = Mat::from_rows(&[vec![3.0, 5.0]]);
+        assert_eq!(&a + &b, Mat::from_rows(&[vec![4.0, 7.0]]));
+        assert_eq!(&b - &a, Mat::from_rows(&[vec![2.0, 3.0]]));
+        assert_eq!(a.scale(3.0), Mat::from_rows(&[vec![3.0, 6.0]]));
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = Mat::from_rows(&[
+            vec![4.0, 2.0, 0.6],
+            vec![2.0, 5.0, 1.5],
+            vec![0.6, 1.5, 2.8],
+        ]);
+        let l = a.cholesky().expect("SPD");
+        let back = &l * &l.transpose();
+        assert!((&back - &a).frobenius_norm() < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // eig −1, 3
+        assert!(a.cholesky().is_none());
+    }
+
+    #[test]
+    fn spd_solve_matches_known_solution() {
+        let a = Mat::from_rows(&[vec![4.0, 1.0], vec![1.0, 3.0]]);
+        let b = vec![1.0, 2.0];
+        let x = a.solve_spd(&b).unwrap();
+        let back = a.matvec(&x);
+        assert!((back[0] - 1.0).abs() < 1e-12 && (back[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diag_builder() {
+        let d = Mat::diag(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.matvec(&[1.0, 1.0, 1.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn spectral_radius_of_diagonal() {
+        let a = Mat::diag(&[0.3, -0.9, 0.5]);
+        let r = a.spectral_radius_estimate(200);
+        assert!((r - 0.9).abs() < 0.02, "r={r}");
+    }
+
+    #[test]
+    fn spectral_radius_of_rotation_scaled() {
+        // 0.8 × rotation: complex pair with |λ| = 0.8 — the case plain
+        // power iteration mishandles.
+        let c = 0.8 * (0.7_f64).cos();
+        let s = 0.8 * (0.7_f64).sin();
+        let a = Mat::from_rows(&[vec![c, -s], vec![s, c]]);
+        let r = a.spectral_radius_estimate(400);
+        assert!((r - 0.8).abs() < 0.02, "r={r}");
+    }
+
+    #[test]
+    fn vector_helpers() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![3.0, -1.0]);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(norm_inf(&[1.0, -7.0, 3.0]), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn shape_mismatch_panics() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(2, 3);
+        let _ = &a * &b;
+    }
+}

@@ -1,0 +1,110 @@
+//! Exponential reference trajectories and settling-time estimates.
+//!
+//! Eq. (7) of the paper shapes the approach to a new set point as a
+//! first-order exponential. The same algebra answers the configuration
+//! question §V-C raises: the power load allocator must re-target
+//! `P_batch` *slower* than the server power controller settles, so the
+//! allocator period is derived from [`settling_time`] rather than chosen
+//! blindly.
+
+/// First-order exponential reference toward a set point (Eq. (7)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpReference {
+    /// Time constant `τ_r`, seconds.
+    pub tau: f64,
+}
+
+impl ExpReference {
+    pub fn new(tau: f64) -> Self {
+        assert!(tau > 0.0, "time constant must be positive");
+        ExpReference { tau }
+    }
+
+    /// Value `x` seconds ahead when starting from `from` toward `target`.
+    pub fn at(&self, target: f64, from: f64, x: f64) -> f64 {
+        assert!(x >= 0.0);
+        target - (-x / self.tau).exp() * (target - from)
+    }
+
+    /// Per-period decay factor `α = exp(−Ts/τ)` for period `ts`.
+    pub fn alpha(&self, ts: f64) -> f64 {
+        assert!(ts > 0.0);
+        (-ts / self.tau).exp()
+    }
+}
+
+/// Time for a first-order response with time constant `tau` to come
+/// within `band` (fractional, e.g. 0.02 for 2%) of its set point:
+/// `t = τ·ln(1/band)`.
+pub fn settling_time(tau: f64, band: f64) -> f64 {
+    assert!(tau > 0.0 && band > 0.0 && band < 1.0);
+    tau * (1.0 / band).ln()
+}
+
+/// Settling time of a discrete closed loop with dominant pole `pole`
+/// (periods): `n = ln(band)/ln(|pole|)`, rounded up. `None` if the loop
+/// is not asymptotically stable.
+pub fn discrete_settling_periods(pole: f64, band: f64) -> Option<usize> {
+    assert!(band > 0.0 && band < 1.0);
+    let mag = pole.abs();
+    if mag >= 1.0 {
+        return None;
+    }
+    if mag == 0.0 {
+        return Some(1);
+    }
+    Some((band.ln() / mag.ln()).ceil() as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_hits_the_known_points() {
+        let r = ExpReference::new(4.0);
+        assert_eq!(r.at(100.0, 40.0, 0.0), 40.0);
+        // One time constant closes 63.2% of the gap.
+        let v = r.at(100.0, 40.0, 4.0);
+        assert!((v - (100.0 - 60.0 * (-1.0_f64).exp())).abs() < 1e-12);
+        assert!((r.at(100.0, 40.0, 1e3) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alpha_matches_at() {
+        let r = ExpReference::new(4.0);
+        let a = r.alpha(1.0);
+        // One period of decay == multiplying the gap by α.
+        let direct = r.at(10.0, 0.0, 1.0);
+        assert!((direct - (10.0 - 10.0 * a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn settling_time_two_percent_is_about_four_tau() {
+        let t = settling_time(4.0, 0.02);
+        assert!((t - 4.0 * (50.0_f64).ln()).abs() < 1e-9);
+        assert!(t > 15.0 && t < 16.0, "t={t}");
+    }
+
+    #[test]
+    fn discrete_settling() {
+        // Pole 0.38 (the paper-parameter loop): within 2% in ~5 periods.
+        let n = discrete_settling_periods(0.38, 0.02).unwrap();
+        assert!((4..=6).contains(&n), "n={n}");
+        // Deadbeat settles immediately.
+        assert_eq!(discrete_settling_periods(0.0, 0.02), Some(1));
+        // Unstable loop never settles.
+        assert_eq!(discrete_settling_periods(1.0, 0.02), None);
+        assert_eq!(discrete_settling_periods(-1.3, 0.02), None);
+    }
+
+    #[test]
+    fn allocator_period_dominates_settling_time() {
+        // §V-C consistency check for the paper configuration: the 30 s
+        // allocator period must exceed the controller's settling time.
+        let pole = 0.38; // from stability::tests::params()
+        let periods = discrete_settling_periods(pole, 0.02).unwrap();
+        let controller_period_s = 1.0;
+        assert!((periods as f64) * controller_period_s < 30.0);
+    }
+}

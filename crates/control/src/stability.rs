@@ -1,0 +1,255 @@
+//! Closed-loop stability analysis (§V-C).
+//!
+//! The paper claims MPC gives a theoretical stability guarantee as long
+//! as modeling errors stay within allowed ranges: derive the closed-loop
+//! system from the optimal `ΔF(t)` and the gain matrix characterizing the
+//! error, and check that all poles lie inside the unit circle. This
+//! module does that derivation for the unconstrained MPC law (stability
+//! of the constrained controller follows on the region where constraints
+//! are inactive; saturation only ever *reduces* the loop gain here).
+//!
+//! Two levels:
+//!
+//! * [`scalar_pole`] — the aggregate (rack-total) loop collapses to a
+//!   scalar system `p(t+1) = p(t) + γ·κ·Δf(t)` where `γ` is the ratio of
+//!   true plant gain to model gain; the closed-loop pole has the closed
+//!   form `1 − γ·L`. Gives the exact allowed gain-error interval.
+//! * [`mimo_closed_loop`] — the full `[p; f]` state matrix for `N`
+//!   channels with per-channel gain errors; its spectral radius is
+//!   checked numerically.
+
+use crate::linalg::Mat;
+
+/// Parameters of the analysis (mirrors [`crate::mpc::MpcConfig`] with
+/// `Lc = 1`, the case with a closed form).
+#[derive(Debug, Clone, Copy)]
+pub struct LoopParams {
+    /// Prediction horizon.
+    pub lp: usize,
+    /// Tracking weight.
+    pub q: f64,
+    /// Control penalty weight (already scaled).
+    pub r: f64,
+    /// Model gain κ (watts per unit frequency), aggregate.
+    pub kappa: f64,
+    /// Reference decay per period, `α = exp(−Ts/τ_r)` ∈ (0, 1).
+    pub alpha: f64,
+}
+
+impl LoopParams {
+    fn validate(&self) {
+        assert!(self.lp >= 1);
+        assert!(self.q > 0.0 && self.r >= 0.0 && self.kappa > 0.0);
+        assert!((0.0..1.0).contains(&self.alpha), "alpha must be in [0,1)");
+    }
+
+    /// The unconstrained first-move feedback gain `L` such that
+    /// `Δf = L·(target − p)/κ + (peak-pull term)`:
+    ///
+    /// `L = q·κ²·(Lp − S) / (q·κ²·Lp + r)` with `S = Σₙ₌₁..Lp αⁿ`.
+    pub fn feedback_gain(&self) -> f64 {
+        self.validate();
+        let lp = self.lp as f64;
+        let s: f64 = (1..=self.lp).map(|n| self.alpha.powi(n as i32)).sum();
+        self.q * self.kappa * self.kappa * (lp - s) / (self.q * self.kappa * self.kappa * lp + self.r)
+    }
+}
+
+/// Closed-loop pole of the aggregate loop when the true plant gain is
+/// `gamma` times the model gain: `z = 1 − γ·L`.
+pub fn scalar_pole(params: LoopParams, gamma: f64) -> f64 {
+    assert!(gamma > 0.0, "plant/model gain ratio must be positive");
+    1.0 - gamma * params.feedback_gain()
+}
+
+/// Is the aggregate loop stable for gain ratio `gamma`?
+pub fn scalar_stable(params: LoopParams, gamma: f64) -> bool {
+    scalar_pole(params, gamma).abs() < 1.0
+}
+
+/// The allowed gain-error interval `(0, γ_max)` within which the
+/// aggregate loop is guaranteed stable: `γ_max = 2 / L`.
+pub fn max_gain_ratio(params: LoopParams) -> f64 {
+    2.0 / params.feedback_gain()
+}
+
+/// Build the reduced closed-loop state matrix for `N` channels with
+/// `Lc = 1`.
+///
+/// The unconstrained MPC law solves `H·y = −g` with
+/// `H = 2q·Lp·kkᵀ + 2·diag(r)` and `g` linear in `p` and `f`, giving
+/// `f⁺ = G_f·f + g_p·(T − p) + const` and `p⁺ = p + k_plantᵀ·(f⁺ − f)`.
+///
+/// The raw `[p; f]` state carries a *structurally conserved* coordinate:
+/// `p − k_plantᵀ·f` never changes (it is the constant term `C` of
+/// Eq. (2)), so the full matrix always has an eigenvalue exactly at 1
+/// that is not an instability. Eliminating it (`p = k_plantᵀ·f + c`)
+/// leaves the `N×N` dynamics
+///
+/// ```text
+/// f⁺ = (G_f − g_p·k_plantᵀ)·f + const
+/// ```
+///
+/// whose spectral radius decides stability of the actual loop.
+pub fn mimo_closed_loop(
+    k_model: &[f64],
+    k_plant: &[f64],
+    r: &[f64],
+    lp: usize,
+    q: f64,
+    alpha: f64,
+) -> Mat {
+    let n = k_model.len();
+    assert!(n > 0 && k_plant.len() == n && r.len() == n);
+    assert!((0.0..1.0).contains(&alpha));
+    assert!(r.iter().all(|&v| v > 0.0), "need strictly positive penalties");
+    let lpf = lp as f64;
+    let s: f64 = (1..=lp).map(|m| alpha.powi(m as i32)).sum();
+
+    // H = 2q·Lp·kkᵀ + 2·diag(r)
+    let mut h = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            h[(i, j)] = 2.0 * q * lpf * k_model[i] * k_model[j];
+        }
+        h[(i, i)] += 2.0 * r[i];
+    }
+    // y = H⁻¹·(2q·Lp·(kᵀf)·k + 2q·(Lp−S)·(T−p)·k + 2·r∘fmax)
+    //   = G_f·f + g_p·(T−p) + const
+    // Columns of G_f: G_f·e_j = 2q·Lp·k_j · H⁻¹k.
+    let hinv_k = h.solve_spd(k_model).expect("H is SPD");
+    let g_p: Vec<f64> = hinv_k.iter().map(|v| 2.0 * q * (lpf - s) * v).collect();
+
+    // A = G_f − g_p·k_plantᵀ, with G_f[i][j] = 2q·Lp·k_model[j]·H⁻¹k[i].
+    let mut a = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            a[(i, j)] = 2.0 * q * lpf * k_model[j] * hinv_k[i] - g_p[i] * k_plant[j];
+        }
+    }
+    a
+}
+
+/// Spectral radius of the MIMO closed loop (numerical).
+pub fn mimo_spectral_radius(
+    k_model: &[f64],
+    k_plant: &[f64],
+    r: &[f64],
+    lp: usize,
+    q: f64,
+    alpha: f64,
+) -> f64 {
+    mimo_closed_loop(k_model, k_plant, r, lp, q, alpha).spectral_radius_estimate(400)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> LoopParams {
+        LoopParams {
+            lp: 8,
+            q: 1.0,
+            r: 8.0,
+            kappa: 60.0,
+            alpha: (-1.0_f64 / 4.0).exp(),
+        }
+    }
+
+    #[test]
+    fn nominal_loop_is_stable() {
+        let p = params();
+        assert!(scalar_stable(p, 1.0));
+        let pole = scalar_pole(p, 1.0);
+        assert!((0.0..1.0).contains(&pole), "pole={pole}");
+    }
+
+    #[test]
+    fn gain_margin_is_generous() {
+        // §V-C: stability for bounded modeling error. With the paper
+        // parameters the loop tolerates the plant gain being at least 2×
+        // the model's.
+        let p = params();
+        let gmax = max_gain_ratio(p);
+        assert!(gmax > 2.0, "gamma_max={gmax}");
+        assert!(scalar_stable(p, 2.0));
+        // And instability does eventually occur beyond the bound.
+        assert!(!scalar_stable(p, gmax + 0.01));
+        assert!(scalar_stable(p, gmax - 0.01));
+    }
+
+    #[test]
+    fn feedback_gain_monotone_in_r() {
+        // Heavier control penalty → softer feedback → pole closer to 1.
+        let mut p = params();
+        let l_small_r = p.feedback_gain();
+        p.r = 800.0;
+        let l_big_r = p.feedback_gain();
+        assert!(l_big_r < l_small_r);
+        assert!(scalar_pole(p, 1.0) > scalar_pole(params(), 1.0));
+    }
+
+    #[test]
+    fn slower_reference_softens_the_loop() {
+        let mut p = params();
+        let fast = p.feedback_gain();
+        p.alpha = (-1.0_f64 / 16.0).exp(); // larger τ_r
+        let slow = p.feedback_gain();
+        assert!(slow < fast, "slow α must reduce the loop gain");
+    }
+
+    #[test]
+    fn mimo_nominal_stable() {
+        let k = vec![15.0, 12.0, 18.0, 15.0];
+        let r = vec![8.0; 4];
+        let rho = mimo_spectral_radius(&k, &k, &r, 8, 1.0, (-0.25_f64).exp());
+        assert!(rho < 1.0, "rho={rho}");
+    }
+
+    #[test]
+    fn mimo_tolerates_heterogeneous_gain_errors() {
+        // Plant gains off by −30%…+50% per channel: still stable.
+        let km = vec![15.0, 12.0, 18.0, 15.0];
+        let kp = vec![15.0 * 1.5, 12.0 * 0.7, 18.0 * 1.2, 15.0 * 0.9];
+        let r = vec![8.0; 4];
+        let rho = mimo_spectral_radius(&km, &kp, &r, 8, 1.0, (-0.25_f64).exp());
+        assert!(rho < 1.0, "rho={rho}");
+    }
+
+    #[test]
+    fn mimo_extreme_gain_error_destabilizes() {
+        let km = vec![15.0; 3];
+        let kp = vec![15.0 * 40.0; 3]; // plant 40× hotter than the model
+        let r = vec![1.0; 3];
+        let rho = mimo_spectral_radius(&km, &kp, &r, 8, 1.0, (-0.25_f64).exp());
+        assert!(rho > 1.0, "rho={rho}");
+    }
+
+    #[test]
+    fn scalar_and_mimo_agree_for_one_channel() {
+        // The reduced one-channel matrix is the scalar
+        // f⁺ = (G_f − g_p·κ)·f + const, whose pole equals the scalar-loop
+        // pole up to the tiny G_f < 1 correction.
+        let p = params();
+        let rho = mimo_spectral_radius(&[p.kappa], &[p.kappa], &[p.r], p.lp, p.q, p.alpha);
+        let pole = scalar_pole(p, 1.0).abs();
+        assert!((rho - pole).abs() < 0.01, "rho={rho} pole={pole}");
+    }
+
+    #[test]
+    fn mimo_gain_error_moves_poles_like_scalar_prediction() {
+        // Uniform plant-gain scaling γ on every channel shifts the
+        // dominant pole to ≈ 1 − γ·L, as in the scalar analysis.
+        let p = params();
+        for gamma in [0.5, 1.0, 1.5, 2.0] {
+            let km = vec![p.kappa / 2.0; 2]; // two channels summing to κ
+            let kp: Vec<f64> = km.iter().map(|k| k * gamma).collect();
+            let rho = mimo_spectral_radius(&km, &kp, &[p.r / 2.0; 2], p.lp, p.q, p.alpha);
+            let predicted = scalar_pole(p, gamma).abs();
+            assert!(
+                (rho - predicted).abs() < 0.05,
+                "gamma={gamma}: rho={rho} predicted={predicted}"
+            );
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! SprintCon configuration: every knob of §IV–§VI in one place.
+
+use powersim::breaker::BreakerSpec;
+use powersim::server::ServerSpec;
+use powersim::units::{Seconds, Watts};
+use powersim::ups::UpsSpec;
+use sprint_control::mpc::MpcConfig;
+
+/// Full system configuration.
+#[derive(Debug, Clone)]
+pub struct SprintConConfig {
+    /// Servers behind the breaker (§VI-A: 16).
+    pub num_servers: usize,
+    /// Interactive cores per server (§VI-A mixed placement: 4 of 8).
+    pub interactive_cores_per_server: usize,
+    /// Server hardware description.
+    pub server: ServerSpec,
+    /// Circuit breaker protecting the rack.
+    pub breaker: BreakerSpec,
+    /// UPS energy storage.
+    pub ups: UpsSpec,
+
+    // --- CB overload schedule (§IV-A) ---
+    /// Overload degree during the overload state (1.25).
+    pub overload_degree: f64,
+    /// Planned overload-state duration (150 s).
+    pub overload_duration: Seconds,
+    /// Planned recovery-state duration (≤ 300 s).
+    pub recovery_duration: Seconds,
+    /// Fraction of the breaker's trip budget the schedule may consume
+    /// before the supervisor forces recovery (safety margin under the
+    /// curve of Fig. 2).
+    pub trip_margin_stop: f64,
+    /// Expected workload-burst duration `T_burst`; picks the schedule
+    /// shape (§IV-A: <1 min → unconstrained, 5–10 min → constant
+    /// overload, longer → periodic).
+    pub t_burst: Seconds,
+
+    // --- control timing (§IV-B, §V-C) ---
+    /// Server & UPS power-controller period (1 s).
+    pub control_period: Seconds,
+    /// Power-load-allocator period (30 s ≫ controller settling time).
+    pub allocator_period: Seconds,
+
+    // --- server power controller (§V-B) ---
+    pub mpc: MpcConfig,
+    /// Assumed batch-core utilization when fitting the linear model.
+    pub assumed_batch_util: f64,
+
+    // --- power load allocator (§IV-B) ---
+    /// Factor-2 upper threshold: if interactive power exceeds
+    /// `P_cb − P_batch` more than this fraction of the time, shrink
+    /// `P_batch` ("more than 90% of the time").
+    pub inter_pressure_high: f64,
+    /// Factor-2 lower threshold: below it, grow `P_batch`.
+    pub inter_pressure_low: f64,
+    /// Multiplicative trim step applied by factor 2.
+    pub p_batch_trim_step: f64,
+    /// Safety multiplier on the deadline power floor.
+    pub deadline_margin: f64,
+
+    // --- UPS power controller (§IV-C) ---
+    /// The UPS controller holds the breaker at `P_cb × this factor`
+    /// during *overload* windows: slightly below the target, so
+    /// measurement noise and the one-period actuation delay cannot push
+    /// the thermal accumulator past the planned trip budget.
+    pub cb_target_margin: f64,
+    /// Margin during *recovery* windows. Deeper than the overload margin:
+    /// every second the noisy breaker spends above rated is a second of
+    /// heating instead of cooling, and a slow recovery delays the next
+    /// overload window past what the allocator's deadline-banking plan
+    /// assumed (§V-C timing contract).
+    pub cb_recovery_margin: f64,
+
+    // --- supervisor (§IV-C) ---
+    /// UPS state-of-charge fraction below which the supervisor enters
+    /// energy-conservation mode.
+    pub soc_reserve: f64,
+}
+
+impl SprintConConfig {
+    /// The paper's evaluation setup (§VI-A), end to end.
+    pub fn paper_default() -> Self {
+        SprintConConfig {
+            num_servers: 16,
+            interactive_cores_per_server: 4,
+            server: ServerSpec::paper_default(),
+            breaker: BreakerSpec::paper_default(),
+            ups: UpsSpec::paper_default(),
+            overload_degree: 1.25,
+            overload_duration: Seconds(150.0),
+            recovery_duration: Seconds(300.0),
+            trip_margin_stop: 0.95,
+            t_burst: Seconds::minutes(15.0),
+            control_period: Seconds(1.0),
+            allocator_period: Seconds(30.0),
+            mpc: MpcConfig::paper_default(),
+            assumed_batch_util: 0.95,
+            inter_pressure_high: 0.9,
+            inter_pressure_low: 0.4,
+            p_batch_trim_step: 0.1,
+            deadline_margin: 1.12,
+            cb_target_margin: 0.99,
+            cb_recovery_margin: 0.98,
+            soc_reserve: 0.03,
+        }
+    }
+
+    /// Batch cores per server.
+    pub fn batch_cores_per_server(&self) -> usize {
+        self.server.num_cores - self.interactive_cores_per_server
+    }
+
+    /// Total batch cores on the rack.
+    pub fn total_batch_cores(&self) -> usize {
+        self.num_servers * self.batch_cores_per_server()
+    }
+
+    /// Total interactive cores on the rack.
+    pub fn total_interactive_cores(&self) -> usize {
+        self.num_servers * self.interactive_cores_per_server
+    }
+
+    /// Rated breaker power.
+    pub fn rated(&self) -> Watts {
+        self.breaker.rated
+    }
+
+    /// Breaker power during the overload state.
+    pub fn overloaded(&self) -> Watts {
+        Watts(self.breaker.rated.0 * self.overload_degree)
+    }
+
+    /// Panics on inconsistent settings; call once at construction.
+    pub fn validate(&self) {
+        assert!(self.num_servers > 0);
+        assert!(self.interactive_cores_per_server <= self.server.num_cores);
+        assert!(self.overload_degree > 1.0, "overload degree must exceed 1");
+        assert!(self.overload_duration.0 > 0.0 && self.recovery_duration.0 > 0.0);
+        assert!((0.0..=1.0).contains(&self.trip_margin_stop));
+        assert!(self.control_period.0 > 0.0);
+        assert!(
+            self.allocator_period.0 >= 10.0 * self.control_period.0,
+            "allocator must run much slower than the controller (§V-C)"
+        );
+        assert!((0.0..1.0).contains(&self.inter_pressure_low));
+        assert!(
+            self.inter_pressure_low < self.inter_pressure_high
+                && self.inter_pressure_high <= 1.0
+        );
+        assert!(self.p_batch_trim_step > 0.0 && self.p_batch_trim_step < 1.0);
+        assert!(self.deadline_margin >= 1.0);
+        assert!(
+            (0.9..=1.0).contains(&self.cb_target_margin),
+            "cb target margin must be a small undershoot"
+        );
+        assert!(
+            (0.9..=1.0).contains(&self.cb_recovery_margin)
+                && self.cb_recovery_margin <= self.cb_target_margin,
+            "recovery margin must undershoot at least as deeply"
+        );
+        assert!((0.0..0.5).contains(&self.soc_reserve));
+        // The planned overload must stay under the trip curve with margin.
+        let trip = self.breaker.trip_time(self.overload_degree);
+        assert!(
+            self.overload_duration.0 <= trip.0,
+            "planned overload duration exceeds the trip curve"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_consistent() {
+        let c = SprintConConfig::paper_default();
+        c.validate();
+        assert_eq!(c.total_batch_cores(), 64);
+        assert_eq!(c.total_interactive_cores(), 64);
+        assert_eq!(c.rated(), Watts(3200.0));
+        assert_eq!(c.overloaded(), Watts(4000.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "allocator must run much slower")]
+    fn rejects_fast_allocator() {
+        let mut c = SprintConConfig::paper_default();
+        c.allocator_period = Seconds(2.0);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the trip curve")]
+    fn rejects_overload_beyond_trip_curve() {
+        let mut c = SprintConConfig::paper_default();
+        c.overload_duration = Seconds(151.0);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "overload degree")]
+    fn rejects_non_overload() {
+        let mut c = SprintConConfig::paper_default();
+        c.overload_degree = 1.0;
+        c.validate();
+    }
+}

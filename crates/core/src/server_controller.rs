@@ -1,0 +1,316 @@
+//! The server power controller (§V): MPC over the batch cores' DVFS,
+//! tracking the allocator's `P_batch` using the Eq. (6) feedback estimate.
+
+use crate::config::SprintConConfig;
+use powersim::cpu::FreqScale;
+use powersim::server::{InteractivePowerModel, LinearServerModel};
+use powersim::units::{NormFreq, Seconds, Utilization, Watts};
+use sprint_control::mpc::{MpcController, MpcDecision};
+use workloads::batch::BatchJob;
+
+/// MPC-based server power controller for one rack.
+#[derive(Debug, Clone)]
+pub struct ServerPowerController {
+    mpc: MpcController,
+    /// Per-server interactive power models (Eq. (5)).
+    inter_models: Vec<InteractivePowerModel>,
+    /// Per-server linear batch models (Eq. (2)) — shared with the
+    /// allocator for budget/floor computations.
+    batch_models: Vec<LinearServerModel>,
+    batch_cores_per_server: usize,
+    num_servers: usize,
+    /// The DVFS ladder the commands will be snapped to.
+    freq_scale: FreqScale,
+}
+
+impl ServerPowerController {
+    /// Calibrate the linear models against the server spec and build the
+    /// per-core MPC (channel `s·m + j` = core `j` of server `s`).
+    pub fn new(cfg: &SprintConConfig) -> Self {
+        let m = cfg.batch_cores_per_server();
+        assert!(m > 0, "controller needs batch cores to actuate");
+        let batch_models: Vec<LinearServerModel> = (0..cfg.num_servers)
+            .map(|_| {
+                LinearServerModel::fit(&cfg.server, m, Utilization(cfg.assumed_batch_util))
+            })
+            .collect();
+        let inter_models: Vec<InteractivePowerModel> = (0..cfg.num_servers)
+            .map(|_| InteractivePowerModel::fit(&cfg.server, cfg.interactive_cores_per_server))
+            .collect();
+        let n = cfg.num_servers * m;
+        // Per-core gain: the server's K spread across its batch cores.
+        let gains: Vec<f64> = batch_models
+            .iter()
+            .flat_map(|bm| std::iter::repeat(bm.k / m as f64).take(m))
+            .collect();
+        let fmin = vec![cfg.server.freq_scale.min.0; n];
+        let fmax = vec![cfg.server.freq_scale.max.0; n];
+        ServerPowerController {
+            mpc: MpcController::new(cfg.mpc, gains, fmin, fmax),
+            inter_models,
+            batch_models,
+            batch_cores_per_server: m,
+            num_servers: cfg.num_servers,
+            freq_scale: cfg.server.freq_scale,
+        }
+    }
+
+    /// Snap the continuous MPC commands to the DVFS ladder with
+    /// error-diffusion rounding: each core's rounding error is carried to
+    /// the next core, so the *aggregate* frequency (and hence the rack's
+    /// batch power) stays within one P-state step of the optimum instead
+    /// of limit-cycling in 64-core quantization jumps.
+    fn quantize_with_diffusion(&self, freqs: &mut [f64]) {
+        let step = self.freq_scale.step;
+        if step <= 0.0 {
+            return;
+        }
+        let mut carry = 0.0;
+        for f in freqs.iter_mut() {
+            let wanted = *f + carry;
+            let snapped = self.freq_scale.quantize(NormFreq(wanted)).0;
+            carry = wanted - snapped;
+            *f = snapped;
+        }
+    }
+
+    /// The fitted per-server batch models (the allocator shares them).
+    pub fn batch_models(&self) -> &[LinearServerModel] {
+        &self.batch_models
+    }
+
+    /// Eq. (5): model-predicted interactive power from the measured
+    /// per-server interactive utilizations.
+    pub fn interactive_power(&self, utils: &[Utilization]) -> Watts {
+        assert_eq!(utils.len(), self.num_servers);
+        Watts(
+            self.inter_models
+                .iter()
+                .zip(utils)
+                .map(|(m, &u)| m.predict(u).0)
+                .sum(),
+        )
+    }
+
+    /// Eq. (6): the feedback power the MPC tracks —
+    /// `p_fb = p_total − p_inter` (batch power is not directly
+    /// measurable under mixed placement, §IV-C).
+    pub fn feedback_power(&self, p_total: Watts, utils: &[Utilization]) -> Watts {
+        Watts((p_total.0 - self.interactive_power(utils).0).max(0.0))
+    }
+
+    /// Batch power the linear models (Eq. (2)/(3)) predict for the given
+    /// per-core frequencies — the reference point for the allocator's
+    /// feedback-bias estimate.
+    pub fn model_predicted_batch_power(&self, batch_freqs: &[f64]) -> Watts {
+        assert_eq!(batch_freqs.len(), self.num_channels());
+        let m = self.batch_cores_per_server;
+        Watts(
+            self.batch_models
+                .iter()
+                .enumerate()
+                .map(|(s, bm)| {
+                    let slice = &batch_freqs[s * m..(s + 1) * m];
+                    let mean = slice.iter().sum::<f64>() / m as f64;
+                    bm.predict(powersim::units::NormFreq(mean)).0
+                })
+                .sum(),
+        )
+    }
+
+    /// Refresh the per-core penalty weights `R_ij` from job progress
+    /// (§V-B); `jobs` is ordered like the MPC channels.
+    pub fn update_weights(&mut self, now: Seconds, jobs: &[BatchJob]) {
+        assert_eq!(jobs.len(), self.mpc.num_channels());
+        let w: Vec<f64> = jobs.iter().map(|j| j.control_weight(now)).collect();
+        self.mpc.set_penalty_weights(&w);
+    }
+
+    /// One control period (the 4-step loop of §IV-C): take the measured
+    /// total power and utilizations, derive feedback, and return new
+    /// frequency commands for every batch core.
+    pub fn control(
+        &self,
+        p_total: Watts,
+        utils: &[Utilization],
+        p_batch_target: Watts,
+        current_freqs: &[f64],
+    ) -> MpcDecision {
+        let p_fb = self.feedback_power(p_total, utils);
+        let mut decision = self.mpc.compute(p_fb.0, p_batch_target.0, current_freqs);
+        self.quantize_with_diffusion(&mut decision.freqs);
+        decision
+    }
+
+    pub fn num_channels(&self) -> usize {
+        self.mpc.num_channels()
+    }
+
+    pub fn batch_cores_per_server(&self) -> usize {
+        self.batch_cores_per_server
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powersim::cpu::CoreRole;
+    use powersim::rack::Rack;
+    use powersim::units::NormFreq;
+    use workloads::progress_model::ProgressModel;
+
+    fn cfg() -> SprintConConfig {
+        SprintConConfig::paper_default()
+    }
+
+    fn rack(c: &SprintConConfig) -> Rack {
+        Rack::homogeneous(c.server.clone(), c.num_servers, c.interactive_cores_per_server)
+    }
+
+    /// Apply the controller's per-core commands to the rack.
+    fn apply(rack: &mut Rack, ctrl: &ServerPowerController, freqs: &[f64]) {
+        let ids = rack.cores_with_role(CoreRole::Batch);
+        assert_eq!(ids.len(), freqs.len());
+        let _ = ctrl;
+        for (id, &f) in ids.iter().zip(freqs) {
+            rack.set_freq(*id, NormFreq(f));
+        }
+    }
+
+    fn batch_freqs(rack: &Rack) -> Vec<f64> {
+        rack.cores_with_role(CoreRole::Batch)
+            .iter()
+            .map(|&id| rack.freq(id).0)
+            .collect()
+    }
+
+    #[test]
+    fn closed_loop_tracks_p_batch_on_the_nonlinear_plant() {
+        // The full loop of §V: MPC designed on the linear model, driving
+        // the Horvath–Skadron plant with busy interactive cores.
+        let c = cfg();
+        let ctrl = ServerPowerController::new(&c);
+        let mut rk = rack(&c);
+        for id in rk.cores_with_role(CoreRole::Interactive) {
+            rk.set_util(id, Utilization(0.65));
+        }
+        for id in rk.cores_with_role(CoreRole::Batch) {
+            rk.set_util(id, Utilization(0.95));
+        }
+        let utils = rk.interactive_util_vector();
+        let target = Watts(1700.0);
+        for _ in 0..40 {
+            let p_total = rk.power();
+            let d = ctrl.control(p_total, &utils, target, &batch_freqs(&rk));
+            apply(&mut rk, &ctrl, &d.freqs);
+        }
+        // Converged: feedback power within ~6% of target despite model
+        // error (nonlinear plant + quantized DVFS).
+        let p_fb = ctrl.feedback_power(rk.power(), &utils);
+        assert!(
+            (p_fb.0 - 1700.0).abs() < 100.0,
+            "p_fb={} target=1700",
+            p_fb
+        );
+    }
+
+    #[test]
+    fn unreachable_budget_pins_batch_at_peak() {
+        let c = cfg();
+        let ctrl = ServerPowerController::new(&c);
+        let mut rk = rack(&c);
+        for id in rk.cores_with_role(CoreRole::Batch) {
+            rk.set_util(id, Utilization(0.95));
+        }
+        let utils = rk.interactive_util_vector();
+        for _ in 0..25 {
+            let d = ctrl.control(rk.power(), &utils, Watts(10_000.0), &batch_freqs(&rk));
+            apply(&mut rk, &ctrl, &d.freqs);
+        }
+        for f in batch_freqs(&rk) {
+            assert!((f - 1.0).abs() < 1e-9, "f={f}");
+        }
+    }
+
+    #[test]
+    fn tiny_budget_pins_batch_at_floor() {
+        let c = cfg();
+        let ctrl = ServerPowerController::new(&c);
+        let mut rk = rack(&c);
+        for id in rk.cores_with_role(CoreRole::Batch) {
+            rk.set_util(id, Utilization(0.95));
+        }
+        let utils = rk.interactive_util_vector();
+        for _ in 0..25 {
+            let d = ctrl.control(rk.power(), &utils, Watts(0.0), &batch_freqs(&rk));
+            apply(&mut rk, &ctrl, &d.freqs);
+        }
+        for f in batch_freqs(&rk) {
+            assert!((f - 0.2).abs() < 1e-9, "f={f}");
+        }
+    }
+
+    #[test]
+    fn feedback_subtracts_interactive_model() {
+        let c = cfg();
+        let ctrl = ServerPowerController::new(&c);
+        let utils = vec![Utilization(0.5); c.num_servers];
+        let p_inter = ctrl.interactive_power(&utils);
+        assert!(p_inter.0 > 0.0);
+        let p_fb = ctrl.feedback_power(Watts(4000.0), &utils);
+        assert!((p_fb.0 - (4000.0 - p_inter.0)).abs() < 1e-9);
+        // Floor at zero when interactive model over-predicts.
+        assert_eq!(ctrl.feedback_power(Watts(0.0), &utils), Watts(0.0));
+    }
+
+    #[test]
+    fn progress_weights_starve_the_job_that_can_afford_it() {
+        let c = cfg();
+        let mut ctrl = ServerPowerController::new(&c);
+        let now = Seconds(300.0);
+        // Core 0's job is way behind (urgent); all others nearly done.
+        let jobs: Vec<BatchJob> = (0..ctrl.num_channels())
+            .map(|i| {
+                let mut j = BatchJob::new(
+                    format!("j{i}"),
+                    ProgressModel::new(0.2),
+                    600.0,
+                    Seconds(600.0),
+                );
+                let f = if i == 0 { 0.22 } else { 1.0 };
+                for _ in 0..300 {
+                    j.step(f, Seconds(1.0));
+                }
+                j
+            })
+            .collect();
+        ctrl.update_weights(now, &jobs);
+        let mut rk = rack(&c);
+        for id in rk.cores_with_role(CoreRole::Batch) {
+            rk.set_util(id, Utilization(0.95));
+        }
+        let utils = rk.interactive_util_vector();
+        // Mid-range budget forces a choice.
+        for _ in 0..30 {
+            let d = ctrl.control(rk.power(), &utils, Watts(1600.0), &batch_freqs(&rk));
+            apply(&mut rk, &ctrl, &d.freqs);
+        }
+        let fs = batch_freqs(&rk);
+        let others_mean: f64 = fs[1..].iter().sum::<f64>() / (fs.len() - 1) as f64;
+        assert!(
+            fs[0] > others_mean + 0.1,
+            "urgent core f={} vs others {}",
+            fs[0],
+            others_mean
+        );
+    }
+
+    #[test]
+    fn interactive_model_is_monotone_in_utilization() {
+        let c = cfg();
+        let ctrl = ServerPowerController::new(&c);
+        let lo = ctrl.interactive_power(&vec![Utilization(0.2); c.num_servers]);
+        let hi = ctrl.interactive_power(&vec![Utilization(0.9); c.num_servers]);
+        assert!(hi.0 > lo.0 + 500.0, "lo={lo} hi={hi}");
+    }
+}

@@ -1,0 +1,376 @@
+//! The sprint supervisor: the top-level SprintCon object (Fig. 4).
+//!
+//! Owns the power load allocator and the two controllers, watches the
+//! breaker and the energy storage, and handles the escalation ladder of
+//! §IV-C:
+//!
+//! * breaker close to tripping → stop overloading it; the UPS takes over
+//!   the excess load while the breaker recovers;
+//! * energy storage running out → `P_cb` becomes the power target for
+//!   *all* workloads (interactive cores get throttled too, a simple
+//!   power-bidding fallback in the spirit of [2]);
+//! * both → sprinting ends; the rack is driven back under the rated
+//!   breaker capacity with no UPS support.
+
+use crate::allocator::PowerLoadAllocator;
+use crate::config::SprintConConfig;
+use crate::server_controller::ServerPowerController;
+use crate::ups_controller::UpsPowerController;
+use powersim::units::{NormFreq, Seconds, Utilization, Watts};
+use workloads::batch::BatchJob;
+
+/// Supervisor operating mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SprintMode {
+    /// Normal sprinting: CB on schedule, UPS covering the gap,
+    /// interactive at peak, batch MPC-controlled.
+    Sprinting,
+    /// Breaker near its trip budget: overload stopped, UPS carries the
+    /// excess until the breaker cools.
+    CbProtect,
+    /// UPS nearly empty: every workload is throttled into `P_cb`.
+    UpsConserve,
+    /// Both protections exhausted: sprint over, rack held under the
+    /// rated capacity.
+    Ended,
+}
+
+/// Measurements handed to the supervisor each control period.
+#[derive(Debug, Clone)]
+pub struct SprintConInputs<'a> {
+    /// Measured total rack power (power monitor).
+    pub p_total: Watts,
+    /// Per-server mean interactive-core utilization.
+    pub interactive_util: &'a [Utilization],
+    /// Current per-batch-core frequencies (actuator state).
+    pub batch_freqs: &'a [f64],
+    /// Batch jobs, ordered like the batch cores.
+    pub jobs: &'a [BatchJob],
+    /// Breaker thermal margin in `[0, 1]`.
+    pub breaker_margin: f64,
+    /// Breaker conducting?
+    pub breaker_closed: bool,
+    /// UPS state of charge fraction in `[0, 1]`.
+    pub ups_soc: f64,
+}
+
+/// Commands returned to the plant each control period.
+#[derive(Debug, Clone)]
+pub struct SprintConOutputs {
+    /// Frequency command per batch core.
+    pub batch_freqs: Vec<f64>,
+    /// Frequency command for every interactive core.
+    pub interactive_freq: NormFreq,
+    /// UPS discharge command.
+    pub ups_discharge: Watts,
+    /// Current breaker power target (`None` for uncontrolled sprints).
+    pub p_cb_target: Option<Watts>,
+    /// Current batch power budget.
+    pub p_batch_target: Watts,
+    pub mode: SprintMode,
+}
+
+/// The complete SprintCon control system.
+#[derive(Debug, Clone)]
+pub struct SprintCon {
+    pub cfg: SprintConConfig,
+    allocator: PowerLoadAllocator,
+    server_ctrl: ServerPowerController,
+    ups_ctrl: UpsPowerController,
+    mode: SprintMode,
+    now: Seconds,
+    /// Interactive throttle state used in conservation modes.
+    inter_freq: NormFreq,
+}
+
+impl SprintCon {
+    pub fn new(cfg: SprintConConfig) -> Self {
+        cfg.validate();
+        let server_ctrl = ServerPowerController::new(&cfg);
+        let allocator = PowerLoadAllocator::new(&cfg, server_ctrl.batch_models().to_vec());
+        SprintCon {
+            allocator,
+            server_ctrl,
+            ups_ctrl: UpsPowerController::new(0.0),
+            mode: SprintMode::Sprinting,
+            now: Seconds::ZERO,
+            inter_freq: NormFreq::PEAK,
+            cfg,
+        }
+    }
+
+    pub fn mode(&self) -> SprintMode {
+        self.mode
+    }
+
+    pub fn now(&self) -> Seconds {
+        self.now
+    }
+
+    /// Access the server controller (model queries, tests, benches).
+    pub fn server_controller(&self) -> &ServerPowerController {
+        &self.server_ctrl
+    }
+
+    fn update_mode(&mut self, inputs: &SprintConInputs<'_>) {
+        let cb_stressed =
+            !inputs.breaker_closed || inputs.breaker_margin >= self.cfg.trip_margin_stop;
+        let ups_low = inputs.ups_soc <= self.cfg.soc_reserve;
+        self.mode = match (self.mode, cb_stressed, ups_low) {
+            (SprintMode::Ended, _, _) => SprintMode::Ended,
+            (_, true, true) => SprintMode::Ended,
+            (_, true, false) => SprintMode::CbProtect,
+            (_, false, true) => SprintMode::UpsConserve,
+            (SprintMode::CbProtect, false, false) => SprintMode::Sprinting,
+            (m, false, false) => {
+                if m == SprintMode::UpsConserve {
+                    // The UPS does not recharge mid-sprint; leaving
+                    // conservation requires SoC above the reserve, which
+                    // the guard above already established.
+                    SprintMode::Sprinting
+                } else {
+                    SprintMode::Sprinting
+                }
+            }
+        };
+    }
+
+    /// One control period (`dt` = `cfg.control_period`).
+    pub fn step(&mut self, dt: Seconds, inputs: SprintConInputs<'_>) -> SprintConOutputs {
+        assert_eq!(
+            inputs.batch_freqs.len(),
+            self.server_ctrl.num_channels(),
+            "one frequency per batch core"
+        );
+        assert_eq!(inputs.jobs.len(), self.server_ctrl.num_channels());
+        self.now += dt;
+
+        // Feed the allocator its per-period interactive power estimate
+        // and the feedback-vs-model bias, then advance its schedule.
+        let p_inter = self.server_ctrl.interactive_power(inputs.interactive_util);
+        self.allocator.observe_interactive_power(p_inter);
+        let p_fb = self
+            .server_ctrl
+            .feedback_power(inputs.p_total, inputs.interactive_util);
+        let predicted = self
+            .server_ctrl
+            .model_predicted_batch_power(inputs.batch_freqs);
+        self.allocator.observe_feedback_bias(p_fb, predicted);
+        self.allocator
+            .advance(self.now, dt, inputs.breaker_margin, inputs.jobs);
+
+        let prev_mode = self.mode;
+        self.update_mode(&inputs);
+        if self.mode != prev_mode {
+            self.ups_ctrl.reset();
+            if matches!(self.mode, SprintMode::CbProtect | SprintMode::Ended) {
+                // §IV-C: stop overloading a stressed breaker.
+                self.allocator.force_recovery();
+            }
+        }
+
+        // Refresh progress weights every period (cheap) — the paper does
+        // it whenever the allocator republishes; doing it here only
+        // improves balance.
+        self.server_ctrl.update_weights(self.now, inputs.jobs);
+
+        let targets = self.allocator.targets();
+        match self.mode {
+            SprintMode::Sprinting | SprintMode::CbProtect => {
+                // In CbProtect the allocator is already forced into
+                // recovery, so targets.p_cb is the rated capacity.
+                let p_cb = targets.p_cb;
+                let p_batch = targets.p_batch;
+                let decision = self.server_ctrl.control(
+                    inputs.p_total,
+                    inputs.interactive_util,
+                    p_batch,
+                    inputs.batch_freqs,
+                );
+                let margin = if targets.overloading {
+                    self.cfg.cb_target_margin
+                } else {
+                    self.cfg.cb_recovery_margin
+                };
+                let ups = match p_cb {
+                    Some(target) => self.ups_ctrl.control(inputs.p_total, target * margin),
+                    None => Watts::ZERO,
+                };
+                self.inter_freq = NormFreq::PEAK;
+                SprintConOutputs {
+                    batch_freqs: decision.freqs,
+                    interactive_freq: NormFreq::PEAK,
+                    ups_discharge: ups,
+                    p_cb_target: p_cb,
+                    p_batch_target: p_batch,
+                    mode: self.mode,
+                }
+            }
+            SprintMode::UpsConserve | SprintMode::Ended => {
+                // Budget for the whole rack: P_cb while conserving the
+                // UPS; the plain rated capacity once the sprint is over.
+                let budget = if self.mode == SprintMode::UpsConserve {
+                    targets.p_cb.unwrap_or(self.cfg.rated())
+                } else {
+                    self.cfg.rated()
+                };
+                // Batch cores drop to the DVFS floor; interactive cores
+                // are throttled proportionally until the measured total
+                // fits the budget (feedback iterates every period).
+                let fmin = self.cfg.server.freq_scale.min;
+                let batch_freqs = vec![fmin.0; self.server_ctrl.num_channels()];
+                let p_inter_est = p_inter.0.max(1.0);
+                let excess = inputs.p_total.0 - budget.0;
+                let scale = 1.0 - excess / p_inter_est;
+                let f_new = (self.inter_freq.0 * scale.clamp(0.5, 1.05))
+                    .clamp(fmin.0, 1.0);
+                self.inter_freq = NormFreq(f_new);
+                // A residual trickle of UPS discharge covers what the
+                // throttle has not yet absorbed (the battery clamps it
+                // once truly empty).
+                let ups = self.ups_ctrl.control(inputs.p_total, budget);
+                SprintConOutputs {
+                    batch_freqs,
+                    interactive_freq: self.inter_freq,
+                    ups_discharge: ups,
+                    p_cb_target: Some(budget),
+                    p_batch_target: Watts(0.0),
+                    mode: self.mode,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::progress_model::ProgressModel;
+
+    fn cfg() -> SprintConConfig {
+        SprintConConfig::paper_default()
+    }
+
+    fn jobs(n: usize) -> Vec<BatchJob> {
+        (0..n)
+            .map(|i| {
+                BatchJob::new(
+                    format!("j{i}"),
+                    ProgressModel::new(0.2),
+                    400.0,
+                    Seconds(900.0),
+                )
+            })
+            .collect()
+    }
+
+    fn step_once(sc: &mut SprintCon, margin: f64, closed: bool, soc: f64) -> SprintConOutputs {
+        let n = sc.server_controller().num_channels();
+        let utils = vec![Utilization(0.6); sc.cfg.num_servers];
+        let freqs = vec![0.6; n];
+        let js = jobs(n);
+        sc.step(
+            Seconds(1.0),
+            SprintConInputs {
+                p_total: Watts(4200.0),
+                interactive_util: &utils,
+                batch_freqs: &freqs,
+                jobs: &js,
+                breaker_margin: margin,
+                breaker_closed: closed,
+                ups_soc: soc,
+            },
+        )
+    }
+
+    #[test]
+    fn nominal_step_sprints_at_peak_interactive() {
+        let mut sc = SprintCon::new(cfg());
+        let out = step_once(&mut sc, 0.1, true, 1.0);
+        assert_eq!(out.mode, SprintMode::Sprinting);
+        assert_eq!(out.interactive_freq, NormFreq::PEAK);
+        assert_eq!(out.p_cb_target, Some(Watts(4000.0)));
+        // UPS covers the measured excess over P_cb × the 0.99 cooling
+        // margin: 4200 − 3960 = 240 W.
+        assert!((out.ups_discharge.0 - 240.0).abs() < 1e-9);
+        assert_eq!(out.batch_freqs.len(), 64);
+        for f in &out.batch_freqs {
+            assert!((0.2..=1.0).contains(f));
+        }
+    }
+
+    #[test]
+    fn hot_breaker_triggers_cb_protect() {
+        let mut sc = SprintCon::new(cfg());
+        let out = step_once(&mut sc, 0.97, true, 1.0);
+        assert_eq!(out.mode, SprintMode::CbProtect);
+        // Overload stopped: target back at rated; UPS covers the rest
+        // (against rated × recovery margin: 4200 − 3200×0.98 = 1064 W).
+        assert_eq!(out.p_cb_target, Some(Watts(3200.0)));
+        assert!((out.ups_discharge.0 - 1064.0).abs() < 1e-9);
+        // Interactive stays at peak — CbProtect spends UPS, not latency.
+        assert_eq!(out.interactive_freq, NormFreq::PEAK);
+        // Recovers once the breaker cools.
+        let out2 = step_once(&mut sc, 0.01, true, 1.0);
+        assert_eq!(out2.mode, SprintMode::Sprinting);
+    }
+
+    #[test]
+    fn open_breaker_counts_as_stressed() {
+        let mut sc = SprintCon::new(cfg());
+        let out = step_once(&mut sc, 0.0, false, 1.0);
+        assert_eq!(out.mode, SprintMode::CbProtect);
+    }
+
+    #[test]
+    fn low_soc_triggers_conservation_and_throttles_interactive() {
+        let mut sc = SprintCon::new(cfg());
+        let mut out = step_once(&mut sc, 0.1, true, 0.02);
+        assert_eq!(out.mode, SprintMode::UpsConserve);
+        // Batch at the floor.
+        for f in &out.batch_freqs {
+            assert!((f - 0.2).abs() < 1e-12);
+        }
+        // Interactive throttles below peak within a few periods (total
+        // 4.2 kW > budget 4.0 kW).
+        for _ in 0..5 {
+            out = step_once(&mut sc, 0.1, true, 0.02);
+        }
+        assert!(out.interactive_freq.0 < 1.0, "f={}", out.interactive_freq.0);
+    }
+
+    #[test]
+    fn both_exhausted_ends_the_sprint_permanently() {
+        let mut sc = SprintCon::new(cfg());
+        let out = step_once(&mut sc, 0.99, true, 0.01);
+        assert_eq!(out.mode, SprintMode::Ended);
+        assert_eq!(out.p_cb_target, Some(Watts(3200.0)));
+        // Ended is terminal even if conditions improve.
+        let out2 = step_once(&mut sc, 0.0, true, 1.0);
+        assert_eq!(out2.mode, SprintMode::Ended);
+    }
+
+    #[test]
+    fn mode_change_resets_ups_filter() {
+        let c = cfg();
+        c.validate();
+        let mut sc = SprintCon::new(c);
+        sc.ups_ctrl = UpsPowerController::new(0.8);
+        // Build up filter state while sprinting.
+        step_once(&mut sc, 0.1, true, 1.0);
+        assert!(sc.ups_ctrl.last_command().0 > 0.0);
+        // Transition to CbProtect resets it (then recomputes).
+        let out = step_once(&mut sc, 0.97, true, 1.0);
+        assert_eq!(out.mode, SprintMode::CbProtect);
+        assert!((out.ups_discharge.0 - 1064.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_advances_with_steps() {
+        let mut sc = SprintCon::new(cfg());
+        for _ in 0..10 {
+            step_once(&mut sc, 0.1, true, 1.0);
+        }
+        assert_eq!(sc.now(), Seconds(10.0));
+    }
+}

@@ -1,0 +1,336 @@
+//! Circuit-breaker model: inverse-time trip curve, thermal accumulator,
+//! trip and reclose state machine.
+//!
+//! Fig. 2 of the paper shows the Bulletin 1489-A curve: trip time is a
+//! nonlinear decreasing function of the overload degree. We reproduce that
+//! shape with the classic thermal (I²t) model: heat accumulates at rate
+//! `o^p − 1` while overloaded (`o = delivered / rated > 1`), dissipates at
+//! a constant cooling rate otherwise, and the breaker trips when the
+//! accumulated heat reaches a budget `H`. Calibrated to the paper's
+//! operating point from [2]: overload degree 1.25 trips after 150 s, and
+//! recovery from near-trip takes at most 300 s.
+
+use crate::units::{Seconds, Watts};
+
+/// Static parameters of a breaker.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BreakerSpec {
+    /// Rated (continuous) capacity, W.
+    pub rated: Watts,
+    /// Exponent of the heating law (2.0 for the classic I²t model).
+    pub exponent: f64,
+    /// Heat budget at which the breaker trips (unitless heat-seconds).
+    pub trip_heat: f64,
+    /// Heat dissipated per second when not overloaded.
+    pub cool_rate: f64,
+    /// Time the breaker stays open after a trip before it can re-close.
+    pub reclose_delay: Seconds,
+}
+
+impl BreakerSpec {
+    /// Calibrate the thermal model so that a constant overload of
+    /// `overload_degree` trips after exactly `trip_after`, and a breaker at
+    /// the trip threshold fully recovers within `recovery`.
+    pub fn calibrated(
+        rated: Watts,
+        overload_degree: f64,
+        trip_after: Seconds,
+        recovery: Seconds,
+    ) -> Self {
+        assert!(overload_degree > 1.0, "calibration point must overload");
+        assert!(trip_after.0 > 0.0 && recovery.0 > 0.0);
+        let exponent = 2.0;
+        let trip_heat = (overload_degree.powf(exponent) - 1.0) * trip_after.0;
+        BreakerSpec {
+            rated,
+            exponent,
+            trip_heat,
+            cool_rate: trip_heat / recovery.0,
+            reclose_delay: recovery,
+        }
+    }
+
+    /// The paper's breaker: 3.2 kW rated, 1.25 overload for 150 s,
+    /// ≤ 300 s recovery (§VI-A, numbers shared with [2]).
+    pub fn paper_default() -> Self {
+        Self::calibrated(Watts(3200.0), 1.25, Seconds(150.0), Seconds(300.0))
+    }
+
+    /// Time to trip under a constant overload degree `o` starting from
+    /// cold. Infinite for `o ≤ 1`. This is the Fig. 2 curve.
+    pub fn trip_time(&self, o: f64) -> Seconds {
+        if o <= 1.0 {
+            Seconds(f64::INFINITY)
+        } else {
+            Seconds(self.trip_heat / (o.powf(self.exponent) - 1.0))
+        }
+    }
+
+    /// Time for the accumulator to cool from `heat` to zero at rated load
+    /// or below.
+    pub fn recovery_time_from(&self, heat: f64) -> Seconds {
+        Seconds((heat.max(0.0)) / self.cool_rate)
+    }
+
+    /// Heating rate (heat-units per second) at overload degree `o`;
+    /// negative means cooling.
+    pub fn heat_rate(&self, o: f64) -> f64 {
+        if o > 1.0 {
+            o.powf(self.exponent) - 1.0
+        } else {
+            -self.cool_rate
+        }
+    }
+}
+
+/// Breaker operating state.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum BreakerState {
+    /// Conducting; `heat` is the thermal accumulator in `[0, trip_heat]`.
+    Closed { heat: f64 },
+    /// Tripped open; `remaining` until it may re-close.
+    Open { remaining: Seconds },
+}
+
+/// What happened during one simulation step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerOutcome {
+    /// Power actually delivered through the breaker this step.
+    pub delivered: Watts,
+    /// The breaker tripped during this step.
+    pub tripped: bool,
+}
+
+/// A stateful circuit breaker.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CircuitBreaker {
+    pub spec: BreakerSpec,
+    pub state: BreakerState,
+    /// Cumulative number of trips (a safety metric in the evaluation).
+    pub trip_count: usize,
+}
+
+impl CircuitBreaker {
+    pub fn new(spec: BreakerSpec) -> Self {
+        CircuitBreaker {
+            spec,
+            state: BreakerState::Closed { heat: 0.0 },
+            trip_count: 0,
+        }
+    }
+
+    pub fn is_closed(&self) -> bool {
+        matches!(self.state, BreakerState::Closed { .. })
+    }
+
+    /// Fraction of the trip budget consumed, in `[0, 1]`; 1.0 while open.
+    pub fn trip_margin(&self) -> f64 {
+        match self.state {
+            BreakerState::Closed { heat } => (heat / self.spec.trip_heat).clamp(0.0, 1.0),
+            BreakerState::Open { .. } => 1.0,
+        }
+    }
+
+    /// Advance the breaker by `dt` while `load` is requested through it.
+    ///
+    /// While closed, the breaker delivers the full requested load (breakers
+    /// do not limit current below the trip point) and integrates heat; it
+    /// trips when the accumulator reaches the budget. While open it
+    /// delivers nothing and counts down to re-close (re-closing with a cold
+    /// accumulator).
+    pub fn step(&mut self, load: Watts, dt: Seconds) -> BreakerOutcome {
+        assert!(dt.0 > 0.0, "breaker step needs positive dt");
+        assert!(load.0 >= 0.0 && load.is_finite(), "invalid breaker load");
+        match self.state {
+            BreakerState::Closed { heat } => {
+                let o = load / self.spec.rated;
+                let new_heat = (heat + self.spec.heat_rate(o) * dt.0).max(0.0);
+                if new_heat >= self.spec.trip_heat {
+                    self.trip_count += 1;
+                    self.state = BreakerState::Open {
+                        remaining: self.spec.reclose_delay,
+                    };
+                    // The trip interrupts the circuit during this step; we
+                    // conservatively report the step's load as delivered
+                    // (the trip happens at the step boundary).
+                    BreakerOutcome {
+                        delivered: load,
+                        tripped: true,
+                    }
+                } else {
+                    self.state = BreakerState::Closed { heat: new_heat };
+                    BreakerOutcome {
+                        delivered: load,
+                        tripped: false,
+                    }
+                }
+            }
+            BreakerState::Open { remaining } => {
+                let left = Seconds(remaining.0 - dt.0);
+                if left.0 <= 0.0 {
+                    self.state = BreakerState::Closed { heat: 0.0 };
+                } else {
+                    self.state = BreakerState::Open { remaining: left };
+                }
+                BreakerOutcome {
+                    delivered: Watts::ZERO,
+                    tripped: false,
+                }
+            }
+        }
+    }
+
+    /// Reset to a cold, closed breaker (keeps the trip counter).
+    pub fn reset(&mut self) {
+        self.state = BreakerState::Closed { heat: 0.0 };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> BreakerSpec {
+        BreakerSpec::paper_default()
+    }
+
+    #[test]
+    fn calibration_point_trips_at_150s() {
+        let t = spec().trip_time(1.25);
+        assert!((t.0 - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trip_curve_is_nonlinear_decreasing() {
+        let s = spec();
+        // Fig. 2: strictly decreasing, convex-ish in overload.
+        let os = [1.05, 1.1, 1.25, 1.5, 2.0, 3.0, 6.0];
+        let mut prev = f64::INFINITY;
+        for &o in &os {
+            let t = s.trip_time(o).0;
+            assert!(t < prev, "trip time must decrease with overload");
+            prev = t;
+        }
+        // Nonlinearity: halving the margin-to-rated does not halve time.
+        let t_125 = s.trip_time(1.25).0;
+        let t_150 = s.trip_time(1.5).0;
+        assert!(t_150 < t_125 / 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn no_trip_at_or_below_rated() {
+        let s = spec();
+        assert!(s.trip_time(1.0).0.is_infinite());
+        assert!(s.trip_time(0.5).0.is_infinite());
+        let mut cb = CircuitBreaker::new(s);
+        for _ in 0..10_000 {
+            let out = cb.step(Watts(3200.0), Seconds(1.0));
+            assert!(!out.tripped);
+            assert_eq!(out.delivered, Watts(3200.0));
+        }
+        assert_eq!(cb.trip_count, 0);
+    }
+
+    #[test]
+    fn sustained_overload_trips_on_schedule() {
+        let mut cb = CircuitBreaker::new(spec());
+        let load = Watts(3200.0 * 1.25);
+        let mut t: f64 = 0.0;
+        loop {
+            let out = cb.step(load, Seconds(1.0));
+            t += 1.0;
+            if out.tripped {
+                break;
+            }
+            assert!(t < 200.0, "should have tripped by now");
+        }
+        // 1 s integration: trips at 150 s ± one step.
+        assert!((t - 150.0).abs() <= 1.0, "tripped at {t}");
+        assert_eq!(cb.trip_count, 1);
+        assert!(!cb.is_closed());
+    }
+
+    #[test]
+    fn open_breaker_delivers_nothing_then_recloses() {
+        let mut cb = CircuitBreaker::new(spec());
+        // Force a trip quickly with a big overload.
+        while !cb.step(Watts(3200.0 * 3.0), Seconds(1.0)).tripped {}
+        let mut open_seconds: f64 = 0.0;
+        loop {
+            let out = cb.step(Watts(3000.0), Seconds(1.0));
+            if cb.is_closed() {
+                break;
+            }
+            assert_eq!(out.delivered, Watts::ZERO);
+            open_seconds += 1.0;
+            assert!(open_seconds < 400.0);
+        }
+        // Re-closes after the 300 s reclose delay.
+        assert!((open_seconds - 300.0).abs() <= 1.0, "open for {open_seconds}");
+        // And is cold again.
+        assert!(cb.trip_margin() < 0.05);
+    }
+
+    #[test]
+    fn recovery_cools_the_accumulator() {
+        let s = spec();
+        let mut cb = CircuitBreaker::new(s);
+        // Overload for 100 s (does not trip), then run at rated.
+        for _ in 0..100 {
+            cb.step(Watts(4000.0), Seconds(1.0));
+        }
+        let hot = cb.trip_margin();
+        assert!(hot > 0.6 && hot < 0.7, "margin={hot}");
+        for _ in 0..300 {
+            cb.step(Watts(3200.0), Seconds(1.0));
+        }
+        assert!(cb.trip_margin() < 1e-9, "should be fully cold");
+    }
+
+    #[test]
+    fn recovery_time_matches_spec() {
+        let s = spec();
+        // From the brink of tripping, full recovery takes the calibrated
+        // 300 s.
+        let t = s.recovery_time_from(s.trip_heat);
+        assert!((t.0 - 300.0).abs() < 1e-9);
+        assert_eq!(s.recovery_time_from(0.0).0, 0.0);
+    }
+
+    #[test]
+    fn alternating_overload_recovery_never_trips() {
+        // SprintCon's periodic schedule: 150 s at 1.25 then 300 s at rated
+        // would trip exactly at the boundary; with a 2% safety margin the
+        // breaker survives indefinitely.
+        let mut cb = CircuitBreaker::new(spec());
+        for _cycle in 0..20 {
+            for _ in 0..147 {
+                let out = cb.step(Watts(4000.0), Seconds(1.0));
+                assert!(!out.tripped);
+            }
+            for _ in 0..300 {
+                cb.step(Watts(3200.0), Seconds(1.0));
+            }
+            assert!(cb.trip_margin() < 0.05);
+        }
+        assert_eq!(cb.trip_count, 0);
+    }
+
+    #[test]
+    fn margin_monotone_under_overload() {
+        let mut cb = CircuitBreaker::new(spec());
+        let mut prev = cb.trip_margin();
+        for _ in 0..100 {
+            cb.step(Watts(4000.0), Seconds(1.0));
+            let m = cb.trip_margin();
+            assert!(m >= prev);
+            prev = m;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid breaker load")]
+    fn rejects_negative_load() {
+        CircuitBreaker::new(spec()).step(Watts(-1.0), Seconds(1.0));
+    }
+}

@@ -1,0 +1,229 @@
+//! Per-core CPU model: DVFS frequency scale, core roles, and the cubic
+//! core-power law that underlies the server-level measurement model.
+//!
+//! SprintCon (§IV-D) adapts each core with DVFS. The paper's testbed spans
+//! 400 MHz – 2.0 GHz; we model the scale as a quantized ladder of P-states
+//! (real governors cannot set arbitrary frequencies), normalized so that
+//! `NormFreq(1.0)` is the peak.
+
+use crate::units::{NormFreq, Utilization};
+
+/// Which workload class a core is currently serving.
+///
+/// SprintCon treats the two classes asymmetrically: interactive cores are
+/// pinned at peak frequency during a sprint, batch cores are the actuator
+/// of the server power controller (§IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum CoreRole {
+    /// Latency-critical interactive/streaming work; runs at peak frequency
+    /// during a sprint.
+    Interactive,
+    /// Deferrable throughput work with a deadline; DVFS-throttled by the
+    /// server power controller.
+    Batch,
+}
+
+/// A quantized DVFS frequency ladder.
+///
+/// Frequencies are normalized to the peak; `step` is the granularity in
+/// normalized units (e.g. 0.05 ≙ 100 MHz steps on a 2 GHz part).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FreqScale {
+    pub min: NormFreq,
+    pub max: NormFreq,
+    pub step: f64,
+    /// Platform peak frequency in MHz (for reporting only; the models are
+    /// all in normalized units).
+    pub peak_mhz: f64,
+}
+
+impl FreqScale {
+    /// The paper's testbed ladder: 400 MHz – 2.0 GHz in 100 MHz steps.
+    pub fn paper_default() -> Self {
+        FreqScale {
+            min: NormFreq(0.2),
+            max: NormFreq(1.0),
+            step: 0.05,
+            peak_mhz: 2000.0,
+        }
+    }
+
+    /// A continuous scale (no quantization) — used by tests and by the
+    /// idealized SGCT-V1 baseline, which assumes perfect actuation.
+    pub fn continuous() -> Self {
+        FreqScale {
+            min: NormFreq(0.2),
+            max: NormFreq(1.0),
+            step: 0.0,
+            peak_mhz: 2000.0,
+        }
+    }
+
+    /// Snap a requested frequency to the nearest representable P-state,
+    /// clamping into `[min, max]`.
+    pub fn quantize(&self, f: NormFreq) -> NormFreq {
+        let clamped = f.clamp(self.min, self.max);
+        if self.step <= 0.0 {
+            return clamped;
+        }
+        let steps = ((clamped.0 - self.min.0) / self.step).round();
+        NormFreq((self.min.0 + steps * self.step).min(self.max.0))
+    }
+
+    /// Number of representable P-states on this ladder.
+    pub fn num_states(&self) -> usize {
+        if self.step <= 0.0 {
+            return usize::MAX;
+        }
+        (((self.max.0 - self.min.0) / self.step).round() as usize) + 1
+    }
+
+    /// All representable P-states, ascending.
+    pub fn states(&self) -> Vec<NormFreq> {
+        if self.step <= 0.0 {
+            return vec![self.min, self.max];
+        }
+        let n = self.num_states();
+        (0..n)
+            .map(|i| NormFreq((self.min.0 + i as f64 * self.step).min(self.max.0)))
+            .collect()
+    }
+}
+
+/// Dynamic power law of a single core.
+///
+/// CPU power under DVFS is cubic in frequency (`P ∝ C·V²·f` with `V ∝ f`),
+/// plus a leakage floor that scales only weakly with frequency. We blend
+/// the two with `cubic_fraction`: the fraction of the core's peak *active*
+/// power that follows the cubic term; the remainder is linear (clock tree,
+/// uncore share). §V-A notes the *server*-level aggregate is approximately
+/// linear in frequency — that emerges from this per-core law plus the
+/// non-CPU power in [`crate::server`]; the controller's linear model is an
+/// approximation the plant does not share.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CorePowerLaw {
+    /// Active power of one core at peak frequency and 100% utilization, W.
+    pub peak_active_watts: f64,
+    /// Fraction of active power following `f³`; the rest follows `f`.
+    pub cubic_fraction: f64,
+    /// Leakage/idle power of the core when clock-gated, W.
+    pub idle_watts: f64,
+}
+
+impl CorePowerLaw {
+    /// Active power drawn by the core at normalized frequency `f` and
+    /// utilization `u` (on top of the idle floor).
+    pub fn active_power(&self, f: NormFreq, u: Utilization) -> f64 {
+        let fh = f.0.clamp(0.0, 1.0);
+        let shape = self.cubic_fraction * fh.powi(3) + (1.0 - self.cubic_fraction) * fh;
+        self.peak_active_watts * shape * u.0.clamp(0.0, 1.0)
+    }
+
+    /// Total core power including the idle floor.
+    pub fn power(&self, f: NormFreq, u: Utilization) -> f64 {
+        self.idle_watts + self.active_power(f, u)
+    }
+}
+
+/// Mutable state of one core inside the simulated plant.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CoreState {
+    pub role: CoreRole,
+    /// Commanded (and, after quantization, actual) frequency.
+    pub freq: NormFreq,
+    /// Fraction of cycles doing useful work in the last period.
+    pub util: Utilization,
+}
+
+impl CoreState {
+    pub fn new(role: CoreRole) -> Self {
+        CoreState {
+            role,
+            freq: NormFreq::PEAK,
+            util: Utilization::IDLE,
+        }
+    }
+
+    /// Effective compute throughput of this core, in peak-core units:
+    /// a fully-utilized core at peak frequency scores 1.0.
+    pub fn throughput(&self) -> f64 {
+        self.freq.0 * self.util.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ladder_has_17_states() {
+        let s = FreqScale::paper_default();
+        // 400..=2000 MHz in 100 MHz steps → 17 P-states.
+        assert_eq!(s.num_states(), 17);
+        let states = s.states();
+        assert_eq!(states.len(), 17);
+        assert_eq!(states[0], NormFreq(0.2));
+        assert!((states[16].0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantize_snaps_to_nearest() {
+        let s = FreqScale::paper_default();
+        // 0.52 is between 0.50 and 0.55; nearer to 0.50.
+        assert!((s.quantize(NormFreq(0.52)).0 - 0.50).abs() < 1e-12);
+        assert!((s.quantize(NormFreq(0.53)).0 - 0.55).abs() < 1e-12);
+        // Clamping.
+        assert_eq!(s.quantize(NormFreq(0.0)), NormFreq(0.2));
+        assert_eq!(s.quantize(NormFreq(2.0)), NormFreq(1.0));
+    }
+
+    #[test]
+    fn continuous_scale_does_not_quantize() {
+        let s = FreqScale::continuous();
+        assert_eq!(s.quantize(NormFreq(0.512345)), NormFreq(0.512345));
+    }
+
+    #[test]
+    fn core_power_is_monotone_in_freq_and_util() {
+        let law = CorePowerLaw {
+            peak_active_watts: 15.0,
+            cubic_fraction: 0.7,
+            idle_watts: 1.0,
+        };
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let f = NormFreq(0.2 + 0.08 * i as f64);
+            let p = law.power(f, Utilization::FULL);
+            assert!(p > prev, "power must increase with frequency");
+            prev = p;
+        }
+        let p_half = law.power(NormFreq::PEAK, Utilization(0.5));
+        let p_full = law.power(NormFreq::PEAK, Utilization::FULL);
+        assert!(p_half < p_full);
+        // Idle floor present at zero utilization.
+        assert!((law.power(NormFreq::PEAK, Utilization::IDLE) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn core_power_superlinear_at_high_freq() {
+        // The per-watt-speedup argument of Fig. 1 rests on power growing
+        // faster than frequency near the top of the DVFS range.
+        let law = CorePowerLaw {
+            peak_active_watts: 15.0,
+            cubic_fraction: 0.7,
+            idle_watts: 1.0,
+        };
+        let p_08 = law.active_power(NormFreq(0.8), Utilization::FULL);
+        let p_10 = law.active_power(NormFreq(1.0), Utilization::FULL);
+        // +25% frequency must cost more than +25% power.
+        assert!(p_10 / p_08 > 1.25);
+    }
+
+    #[test]
+    fn throughput_definition() {
+        let mut c = CoreState::new(CoreRole::Batch);
+        c.freq = NormFreq(0.5);
+        c.util = Utilization(0.8);
+        assert!((c.throughput() - 0.4).abs() < 1e-12);
+    }
+}

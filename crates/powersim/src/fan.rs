@@ -1,0 +1,108 @@
+//! Cooling-fan power disturbance.
+//!
+//! §V-A singles out fan power as a rack-level load that depends on the
+//! server power, the temperature set point, *and* the ambient temperature
+//! — a systematic error no static server model captures, and one of the
+//! stated reasons SprintCon uses feedback control. We model fan power with
+//! the cube law of fan affinity (power ∝ speed³) where the commanded speed
+//! follows the thermal load, plus an ambient-temperature random walk.
+
+use crate::noise::OrnsteinUhlenbeck;
+use crate::units::{Seconds, Watts};
+
+/// Rack cooling-fan model.
+#[derive(Debug, Clone)]
+pub struct FanModel {
+    /// Fan power at minimum speed, W.
+    pub base_watts: f64,
+    /// Fan power at maximum speed, W.
+    pub max_watts: f64,
+    /// Ambient temperature process, °C.
+    ambient: OrnsteinUhlenbeck,
+    /// Temperature set point of the rack inlet, °C.
+    pub setpoint_c: f64,
+}
+
+impl FanModel {
+    /// A rack-level fan bank: 40 W floor, 160 W ceiling, ambient wandering
+    /// around 25 °C.
+    pub fn paper_default(seed: u64) -> Self {
+        FanModel {
+            base_watts: 40.0,
+            max_watts: 160.0,
+            ambient: OrnsteinUhlenbeck::new(seed, 25.0, 0.02, 0.05),
+            setpoint_c: 27.0,
+        }
+    }
+
+    /// A disturbance-free fan (constant ambient), for tests.
+    pub fn constant_ambient(base: f64, max: f64, ambient_c: f64, setpoint_c: f64) -> Self {
+        FanModel {
+            base_watts: base,
+            max_watts: max,
+            ambient: OrnsteinUhlenbeck::new(0, ambient_c, 1.0, 0.0),
+            setpoint_c,
+        }
+    }
+
+    pub fn ambient_c(&self) -> f64 {
+        self.ambient.value()
+    }
+
+    /// Advance the ambient process and return fan power for this step.
+    ///
+    /// `load_fraction` is rack power over rack max power, in `[0, 1]`:
+    /// the heat the fans must move. Hotter ambient shrinks the margin to
+    /// the set point and pushes fan speed up.
+    pub fn step(&mut self, load_fraction: f64, dt: Seconds) -> Watts {
+        let ambient = self.ambient.step(dt.0);
+        // Thermal pressure: 1.0 when ambient is 8 °C below set point,
+        // rising as the margin closes.
+        let margin = (self.setpoint_c - ambient).max(0.5);
+        let pressure = (8.0 / margin).clamp(0.5, 2.0);
+        let speed = (load_fraction.clamp(0.0, 1.0) * pressure).clamp(0.0, 1.0);
+        Watts(self.base_watts + (self.max_watts - self.base_watts) * speed.powi(3))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_power_bounded() {
+        let mut fan = FanModel::paper_default(11);
+        for i in 0..1000 {
+            let lf = (i % 11) as f64 / 10.0;
+            let p = fan.step(lf, Seconds(1.0)).0;
+            assert!(p >= 40.0 - 1e-9 && p <= 160.0 + 1e-9, "p={p}");
+        }
+    }
+
+    #[test]
+    fn fan_power_increases_with_load() {
+        let mut fan = FanModel::constant_ambient(40.0, 160.0, 25.0, 27.0);
+        let lo = fan.step(0.2, Seconds(1.0)).0;
+        let hi = fan.step(0.9, Seconds(1.0)).0;
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn hot_ambient_costs_more_fan_power() {
+        let mut cool = FanModel::constant_ambient(40.0, 160.0, 18.0, 27.0);
+        let mut hot = FanModel::constant_ambient(40.0, 160.0, 26.0, 27.0);
+        let pc = cool.step(0.6, Seconds(1.0)).0;
+        let ph = hot.step(0.6, Seconds(1.0)).0;
+        assert!(ph > pc, "hot={ph} cool={pc}");
+    }
+
+    #[test]
+    fn cube_law_shape() {
+        // Doubling speed should much more than double the dynamic part.
+        let mut fan = FanModel::constant_ambient(0.0, 100.0, 17.0, 27.0);
+        // pressure = 8/10 = 0.8 at this ambient.
+        let p1 = fan.step(0.25, Seconds(1.0)).0;
+        let p2 = fan.step(0.5, Seconds(1.0)).0;
+        assert!(p2 / p1 > 4.0);
+    }
+}

@@ -1,0 +1,246 @@
+//! A rack of servers and its power monitor.
+//!
+//! The rack is the unit SprintCon controls: the paper's evaluation runs
+//! 16 servers behind one 3.2 kW circuit breaker with one shared UPS.
+
+use crate::cpu::CoreRole;
+use crate::noise::NoiseSource;
+use crate::server::{Server, ServerSpec};
+use crate::units::{NormFreq, Utilization, Watts};
+
+/// Addresses one core in the rack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct CoreId {
+    pub server: usize,
+    pub core: usize,
+}
+
+/// A rack of identical servers.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Rack {
+    pub servers: Vec<Server>,
+}
+
+impl Rack {
+    /// Build a rack of `n` servers from one spec, each with
+    /// `interactive_cores` interactive cores (the rest batch).
+    pub fn homogeneous(spec: ServerSpec, n: usize, interactive_cores: usize) -> Self {
+        assert!(n > 0, "rack must contain at least one server");
+        Rack {
+            servers: (0..n).map(|_| Server::new(spec.clone(), interactive_cores)).collect(),
+        }
+    }
+
+    /// The paper's rack: 16 servers, 8 cores each, 4 interactive + 4 batch.
+    pub fn paper_default() -> Self {
+        Self::homogeneous(ServerSpec::paper_default(), 16, 4)
+    }
+
+    pub fn num_servers(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// True (plant-model) total power of the rack, before fan/noise.
+    pub fn power(&self) -> Watts {
+        self.servers.iter().map(|s| s.power()).sum()
+    }
+
+    /// Maximum possible rack power (all cores peak, fully utilized).
+    pub fn max_power(&self) -> Watts {
+        let mut probe = self.clone();
+        for s in probe.servers.iter_mut() {
+            for c in s.cores.iter_mut() {
+                c.freq = NormFreq::PEAK;
+                c.util = Utilization::FULL;
+            }
+        }
+        probe.power()
+    }
+
+    /// Minimum rack power (all idle).
+    pub fn idle_power(&self) -> Watts {
+        Watts(self.servers.iter().map(|s| s.spec.idle_watts).sum())
+    }
+
+    /// All cores of a role across the rack, in deterministic order.
+    pub fn cores_with_role(&self, role: CoreRole) -> Vec<CoreId> {
+        let mut out = Vec::new();
+        for (si, s) in self.servers.iter().enumerate() {
+            for ci in s.cores_with_role(role) {
+                out.push(CoreId { server: si, core: ci });
+            }
+        }
+        out
+    }
+
+    pub fn count_role(&self, role: CoreRole) -> usize {
+        self.servers.iter().map(|s| s.count_role(role)).sum()
+    }
+
+    pub fn set_freq(&mut self, id: CoreId, f: NormFreq) {
+        self.servers[id.server].set_core_freq(id.core, f);
+    }
+
+    pub fn set_util(&mut self, id: CoreId, u: Utilization) {
+        self.servers[id.server].cores[id.core].util = u.saturate();
+    }
+
+    pub fn freq(&self, id: CoreId) -> NormFreq {
+        self.servers[id.server].cores[id.core].freq
+    }
+
+    pub fn util(&self, id: CoreId) -> Utilization {
+        self.servers[id.server].cores[id.core].util
+    }
+
+    /// Pin every core of `role` to frequency `f` rack-wide.
+    pub fn set_role_freq(&mut self, role: CoreRole, f: NormFreq) {
+        for s in self.servers.iter_mut() {
+            s.set_role_freq(role, f);
+        }
+    }
+
+    /// Rack-wide mean frequency over cores of `role` (unweighted over
+    /// cores), or `None` if there are none.
+    pub fn mean_role_freq(&self, role: CoreRole) -> Option<NormFreq> {
+        let ids = self.cores_with_role(role);
+        if ids.is_empty() {
+            return None;
+        }
+        let sum: f64 = ids.iter().map(|&id| self.freq(id).0).sum();
+        Some(NormFreq(sum / ids.len() as f64))
+    }
+
+    /// Rack-wide mean utilization over cores of `role`.
+    pub fn mean_role_util(&self, role: CoreRole) -> Option<Utilization> {
+        let ids = self.cores_with_role(role);
+        if ids.is_empty() {
+            return None;
+        }
+        let sum: f64 = ids.iter().map(|&id| self.util(id).0).sum();
+        Some(Utilization(sum / ids.len() as f64))
+    }
+
+    /// Per-server mean utilization of interactive cores — the `U` vector of
+    /// Eq. (5).
+    pub fn interactive_util_vector(&self) -> Vec<Utilization> {
+        self.servers
+            .iter()
+            .map(|s| s.mean_util(CoreRole::Interactive).unwrap_or(Utilization::IDLE))
+            .collect()
+    }
+}
+
+/// Power monitor with multiplicative + additive measurement noise.
+///
+/// §V-A argues that un-modellable factors (fans, sensor error) are exactly
+/// why feedback control is needed; the monitor is where that error enters
+/// the loop.
+#[derive(Debug, Clone)]
+pub struct PowerMonitor {
+    noise: NoiseSource,
+    /// Standard deviation of multiplicative error (e.g. 0.01 ≙ 1%).
+    pub rel_sigma: f64,
+    /// Standard deviation of additive error in watts.
+    pub abs_sigma: f64,
+}
+
+impl PowerMonitor {
+    pub fn new(seed: u64, rel_sigma: f64, abs_sigma: f64) -> Self {
+        PowerMonitor {
+            noise: NoiseSource::new(seed),
+            rel_sigma,
+            abs_sigma,
+        }
+    }
+
+    /// An ideal monitor (tests, idealized baselines).
+    pub fn ideal() -> Self {
+        Self::new(0, 0.0, 0.0)
+    }
+
+    /// Sample a measurement of the true power.
+    pub fn measure(&mut self, truth: Watts) -> Watts {
+        let rel = 1.0 + self.noise.gaussian() * self.rel_sigma;
+        let abs = self.noise.gaussian() * self.abs_sigma;
+        Watts((truth.0 * rel + abs).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rack_power_envelope() {
+        let rack = Rack::paper_default();
+        // 16 × 150 W idle = 2.4 kW; 16 × 300 W full = 4.8 kW (§VI-A).
+        assert!((rack.idle_power().0 - 2400.0).abs() < 1e-9);
+        assert!((rack.max_power().0 - 4800.0).abs() < 1e-6);
+        // Fresh rack is idle.
+        assert!((rack.power().0 - 2400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn role_census() {
+        let rack = Rack::paper_default();
+        assert_eq!(rack.count_role(CoreRole::Interactive), 64);
+        assert_eq!(rack.count_role(CoreRole::Batch), 64);
+        assert_eq!(rack.cores_with_role(CoreRole::Batch).len(), 64);
+    }
+
+    #[test]
+    fn core_addressing_round_trip() {
+        let mut rack = Rack::paper_default();
+        let id = CoreId { server: 7, core: 5 };
+        rack.set_freq(id, NormFreq(0.5));
+        rack.set_util(id, Utilization(0.7));
+        assert!((rack.freq(id).0 - 0.5).abs() < 1e-12);
+        assert!((rack.util(id).0 - 0.7).abs() < 1e-12);
+        // Saturation on write.
+        rack.set_util(id, Utilization(1.4));
+        assert_eq!(rack.util(id), Utilization::FULL);
+    }
+
+    #[test]
+    fn rack_means() {
+        let mut rack = Rack::paper_default();
+        rack.set_role_freq(CoreRole::Batch, NormFreq(0.4));
+        assert!((rack.mean_role_freq(CoreRole::Batch).unwrap().0 - 0.4).abs() < 1e-12);
+        for id in rack.cores_with_role(CoreRole::Interactive) {
+            rack.set_util(id, Utilization(0.55));
+        }
+        assert!((rack.mean_role_util(CoreRole::Interactive).unwrap().0 - 0.55).abs() < 1e-12);
+        let v = rack.interactive_util_vector();
+        assert_eq!(v.len(), 16);
+        assert!(v.iter().all(|u| (u.0 - 0.55).abs() < 1e-12));
+    }
+
+    #[test]
+    fn ideal_monitor_is_exact() {
+        let mut m = PowerMonitor::ideal();
+        assert_eq!(m.measure(Watts(1234.5)), Watts(1234.5));
+    }
+
+    #[test]
+    fn noisy_monitor_statistics() {
+        let mut m = PowerMonitor::new(42, 0.01, 5.0);
+        let truth = Watts(3000.0);
+        let n = 4000;
+        let samples: Vec<f64> = (0..n).map(|_| m.measure(truth).0).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        // Unbiased within half a percent.
+        assert!((mean - truth.0).abs() < truth.0 * 0.005, "mean={mean}");
+        // And actually noisy.
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(var.sqrt() > 5.0);
+    }
+
+    #[test]
+    fn monitor_never_reports_negative() {
+        let mut m = PowerMonitor::new(7, 2.0, 100.0); // absurd noise
+        for _ in 0..1000 {
+            assert!(m.measure(Watts(10.0)).0 >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Power-delivery topology: utility feed through the circuit breaker, with
+//! the UPS in parallel on the load side (Fig. 4 of the paper).
+//!
+//! Each simulation step, the rack demands `p_total`; the UPS controller
+//! commands a discharge target, the duty-cycled discharge circuit realizes
+//! it, and the remainder flows through the breaker. If the breaker is open
+//! (tripped), the UPS must carry everything it can; any shortfall is a
+//! brownout and the affected servers lose power — exactly the failure mode
+//! Fig. 5 demonstrates for uncontrolled sprinting.
+
+use crate::breaker::CircuitBreaker;
+use crate::units::{Seconds, Watts};
+use crate::ups::{DutyCycleDischarger, UpsBattery};
+
+/// The combined utility + UPS feed of one rack.
+#[derive(Debug, Clone)]
+pub struct PowerFeed {
+    pub breaker: CircuitBreaker,
+    pub ups: UpsBattery,
+    pub discharger: DutyCycleDischarger,
+}
+
+/// What the feed delivered during one step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeedOutcome {
+    /// Power that flowed through the circuit breaker.
+    pub cb_power: Watts,
+    /// Power delivered by the UPS.
+    pub ups_power: Watts,
+    /// Total power served to the rack (`cb + ups`).
+    pub served: Watts,
+    /// Unserved demand (brownout) this step.
+    pub shortfall: Watts,
+    /// The breaker tripped during this step.
+    pub tripped: bool,
+}
+
+impl PowerFeed {
+    pub fn new(breaker: CircuitBreaker, ups: UpsBattery) -> Self {
+        let duty_step = ups.spec.duty_step;
+        PowerFeed {
+            breaker,
+            ups,
+            discharger: DutyCycleDischarger::new(duty_step),
+        }
+    }
+
+    /// Serve `demand` for `dt`, discharging the UPS toward
+    /// `ups_target` (the UPS power controller's command).
+    ///
+    /// Semantics:
+    /// * breaker closed — the discharge circuit realizes the (quantized)
+    ///   target, the breaker carries the rest, and may trip if overloaded
+    ///   long enough;
+    /// * breaker open — the UPS carries as much of the demand as it can;
+    ///   the rest is a shortfall.
+    pub fn step(&mut self, demand: Watts, ups_target: Watts, dt: Seconds) -> FeedOutcome {
+        assert!(demand.0 >= 0.0 && demand.is_finite(), "invalid demand");
+        if self.breaker.is_closed() {
+            let wanted = ups_target.clamp(Watts::ZERO, demand);
+            let realized = self.discharger.realize(wanted, demand);
+            let ups_power = self.ups.discharge(realized, dt);
+            let cb_load = Watts((demand.0 - ups_power.0).max(0.0));
+            let out = self.breaker.step(cb_load, dt);
+            FeedOutcome {
+                cb_power: out.delivered,
+                ups_power,
+                served: Watts(out.delivered.0 + ups_power.0),
+                shortfall: Watts::ZERO,
+                tripped: out.tripped,
+            }
+        } else {
+            // Open breaker: advance its reclose countdown; UPS carries all.
+            let out = self.breaker.step(Watts::ZERO, dt);
+            debug_assert_eq!(out.delivered, Watts::ZERO);
+            let ups_power = self.ups.discharge(demand, dt);
+            FeedOutcome {
+                cb_power: Watts::ZERO,
+                ups_power,
+                served: ups_power,
+                shortfall: Watts((demand.0 - ups_power.0).max(0.0)),
+                tripped: false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breaker::BreakerSpec;
+    use crate::ups::UpsSpec;
+
+    fn feed() -> PowerFeed {
+        PowerFeed::new(
+            CircuitBreaker::new(BreakerSpec::paper_default()),
+            UpsBattery::full(UpsSpec::paper_default()),
+        )
+    }
+
+    #[test]
+    fn demand_split_between_cb_and_ups() {
+        let mut f = feed();
+        let out = f.step(Watts(4000.0), Watts(800.0), Seconds(1.0));
+        assert!((out.ups_power.0 - 800.0).abs() < 20.0 + 1e-9); // duty quantized
+        assert!((out.cb_power.0 + out.ups_power.0 - 4000.0).abs() < 1e-9);
+        assert_eq!(out.shortfall, Watts::ZERO);
+        assert!(!out.tripped);
+    }
+
+    #[test]
+    fn zero_target_routes_everything_through_cb() {
+        let mut f = feed();
+        let out = f.step(Watts(3000.0), Watts::ZERO, Seconds(1.0));
+        assert_eq!(out.cb_power, Watts(3000.0));
+        assert_eq!(out.ups_power, Watts::ZERO);
+    }
+
+    #[test]
+    fn sustained_cb_overload_trips_then_ups_carries_all() {
+        let mut f = feed();
+        // Demand 1.5 × rated with no UPS help: trips within the curve time.
+        let mut tripped_at = None;
+        for s in 0..600 {
+            let out = f.step(Watts(4800.0), Watts::ZERO, Seconds(1.0));
+            if out.tripped {
+                tripped_at = Some(s);
+                break;
+            }
+        }
+        let t = tripped_at.expect("breaker must trip");
+        // trip_time(1.5) = 84.375/1.25 = 67.5 s.
+        assert!((t as f64 - 67.5).abs() <= 1.5, "tripped at {t}");
+        // Next step: breaker open, UPS carries everything.
+        let out = f.step(Watts(4800.0), Watts::ZERO, Seconds(1.0));
+        assert_eq!(out.cb_power, Watts::ZERO);
+        assert_eq!(out.ups_power, Watts(4800.0));
+        assert_eq!(out.shortfall, Watts::ZERO);
+    }
+
+    #[test]
+    fn brownout_when_ups_exhausted_and_breaker_open() {
+        let mut f = feed();
+        // Trip the breaker fast.
+        while !f.step(Watts(9600.0), Watts::ZERO, Seconds(1.0)).tripped {}
+        // Drain the UPS (400 Wh at ~4.56 kW cell power ≈ 5 min).
+        let mut shortfall_seen = false;
+        for _ in 0..400 {
+            let out = f.step(Watts(4800.0), Watts::ZERO, Seconds(1.0));
+            if out.shortfall.0 > 0.0 {
+                shortfall_seen = true;
+                assert!(out.served.0 < 4800.0);
+                break;
+            }
+        }
+        assert!(shortfall_seen, "UPS exhaustion must surface as shortfall");
+    }
+
+    #[test]
+    fn ups_target_clamped_to_demand() {
+        let mut f = feed();
+        let out = f.step(Watts(1000.0), Watts(5000.0), Seconds(1.0));
+        // UPS cannot push more than the load consumes.
+        assert!(out.ups_power.0 <= 1000.0 + 1e-9);
+        assert_eq!(out.shortfall, Watts::ZERO);
+    }
+
+    #[test]
+    fn ups_discharge_keeps_cb_below_rated_indefinitely() {
+        // The SprintCon invariant: with ups_target = demand − rated, the
+        // breaker never accumulates heat.
+        let mut f = feed();
+        for _ in 0..1000 {
+            let demand = Watts(4000.0);
+            let target = Watts(demand.0 - 3200.0);
+            let out = f.step(demand, target, Seconds(1.0));
+            assert!(out.cb_power.0 <= 3200.0 + 3200.0 * 0.01 + 1e-9); // duty step slack
+            assert!(!out.tripped);
+        }
+        assert!(f.breaker.trip_margin() < 0.2);
+    }
+}

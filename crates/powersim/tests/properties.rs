@@ -1,0 +1,139 @@
+//! Property-based tests for the power-infrastructure models.
+
+use powersim::breaker::{BreakerSpec, CircuitBreaker};
+use powersim::cpu::{CoreRole, FreqScale};
+use powersim::rack::Rack;
+use powersim::server::{LinearServerModel, Server, ServerSpec};
+use powersim::supercap::{HybridStorage, Supercap, SupercapSpec};
+use powersim::units::{NormFreq, Seconds, Utilization, Watts};
+use powersim::ups::{DutyCycleDischarger, UpsBattery, UpsSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Server power is always inside the calibrated [idle, full] envelope
+    /// and monotone under a uniform frequency raise.
+    #[test]
+    fn server_power_envelope_and_monotonicity(
+        freqs in proptest::collection::vec(0.2f64..=1.0, 8),
+        utils in proptest::collection::vec(0.0f64..=1.0, 8),
+        bump in 0.0f64..0.3,
+    ) {
+        let spec = ServerSpec::paper_default();
+        let mut s = Server::new(spec, 4);
+        for (i, (&f, &u)) in freqs.iter().zip(&utils).enumerate() {
+            s.spec.freq_scale = FreqScale::continuous();
+            s.set_core_freq(i, NormFreq(f));
+            s.cores[i].util = Utilization(u);
+        }
+        let p = s.power().0;
+        prop_assert!(p >= 150.0 - 1e-9 && p <= 300.0 + 1e-9, "p={p}");
+        // Raise every core's frequency: power must not decrease.
+        let mut s2 = s.clone();
+        for i in 0..8 {
+            let f = s2.cores[i].freq.0;
+            s2.set_core_freq(i, NormFreq((f + bump).min(1.0)));
+        }
+        prop_assert!(s2.power().0 >= p - 1e-9);
+    }
+
+    /// The linear controller model brackets the plant within a bounded
+    /// relative error across the whole DVFS range at its fit utilization.
+    #[test]
+    fn linear_model_error_bounded(f in 0.2f64..=1.0) {
+        let spec = ServerSpec::paper_default();
+        let m = LinearServerModel::fit(&spec, 4, Utilization(0.95));
+        let pred = m.predict(NormFreq(f)).0;
+        prop_assert!(pred > 0.0);
+        // The §V-C stability margin tolerates up to ~3× gain error; the
+        // static fit is far inside that.
+        let k_local = m.k;
+        prop_assert!(k_local > 20.0 && k_local < 120.0, "k={k_local}");
+    }
+
+    /// Breaker trip time is antitone in overload and the thermal state
+    /// machine is consistent with the closed-form curve.
+    #[test]
+    fn breaker_trip_time_matches_state_machine(o in 1.02f64..3.0) {
+        let spec = BreakerSpec::paper_default();
+        let closed_form = spec.trip_time(o).0;
+        let mut cb = CircuitBreaker::new(spec);
+        let mut t = 0.0;
+        let dt = 0.25;
+        loop {
+            if cb.step(Watts(3200.0 * o), Seconds(dt)).tripped {
+                break;
+            }
+            t += dt;
+            prop_assert!(t < closed_form + 5.0, "state machine slower than curve");
+        }
+        prop_assert!((t + dt - closed_form).abs() <= dt + 1e-6,
+            "tripped at {t} vs curve {closed_form}");
+    }
+
+    /// Duty-cycle realization error is bounded by half a duty step of the
+    /// total power, always.
+    #[test]
+    fn duty_cycle_error_bound(
+        target in 0.0f64..6000.0,
+        total in 1.0f64..6000.0,
+        step in 0.001f64..0.2,
+    ) {
+        let d = DutyCycleDischarger::new(step);
+        let got = d.realize(Watts(target), Watts(total));
+        let capped = target.min(total);
+        prop_assert!(got.0 >= 0.0 && got.0 <= total + 1e-9);
+        prop_assert!((got.0 - capped).abs() <= total * step / 2.0 + 1e-9);
+    }
+
+    /// Hybrid storage never creates energy: battery cells + cap draw
+    /// always cover what was delivered (efficiencies only lose).
+    #[test]
+    fn hybrid_storage_first_law(
+        demands in proptest::collection::vec(0.0f64..3000.0, 1..300),
+    ) {
+        let mut h = HybridStorage::new(
+            UpsBattery::full(UpsSpec::paper_default()),
+            Supercap::full(SupercapSpec::paper_default()),
+        );
+        let mut delivered = 0.0;
+        for &d in &demands {
+            let out = h.discharge(Watts(d), Seconds(1.0));
+            prop_assert!(out.delivered.0 <= d + 1e-9);
+            delivered += out.delivered.over(Seconds(1.0)).0;
+        }
+        let sourced = h.battery.total_cell_energy_out.0 + h.cap.total_out.0;
+        prop_assert!(sourced >= delivered - 1e-6,
+            "sourced {sourced} must cover delivered {delivered}");
+    }
+
+    /// Rack aggregates equal the sum of server powers for any state.
+    #[test]
+    fn rack_power_is_sum_of_servers(
+        utils in proptest::collection::vec(0.0f64..=1.0, 16),
+        f in 0.2f64..=1.0,
+    ) {
+        let mut rack = Rack::homogeneous(ServerSpec::paper_default(), 4, 4);
+        rack.set_role_freq(CoreRole::Batch, NormFreq(f));
+        for (i, id) in rack.cores_with_role(CoreRole::Interactive).into_iter().enumerate() {
+            rack.set_util(id, Utilization(utils[i % utils.len()]));
+        }
+        let total = rack.power().0;
+        let by_server: f64 = rack.servers.iter().map(|s| s.power().0).sum();
+        prop_assert!((total - by_server).abs() < 1e-9);
+    }
+
+    /// Frequency quantization always lands on a representable state
+    /// inside the ladder, at most half a step from the clamped request.
+    #[test]
+    fn quantization_contract(f in -0.5f64..1.5) {
+        let scale = FreqScale::paper_default();
+        let q = scale.quantize(NormFreq(f)).0;
+        prop_assert!(q >= scale.min.0 - 1e-12 && q <= scale.max.0 + 1e-12);
+        let steps = (q - scale.min.0) / scale.step;
+        prop_assert!((steps - steps.round()).abs() < 1e-9, "off-ladder {q}");
+        let clamped = f.clamp(scale.min.0, scale.max.0);
+        prop_assert!((q - clamped).abs() <= scale.step / 2.0 + 1e-12);
+    }
+}

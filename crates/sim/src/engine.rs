@@ -1,0 +1,455 @@
+//! The discrete-time rack simulation.
+//!
+//! One [`RackSim`] owns the whole plant of Fig. 4 — servers, cooling
+//! fans, circuit breaker, UPS — plus the workloads, and advances it one
+//! control period at a time under a [`Policy`]. The policy sees only
+//! what a real controller could measure (noisy total power, utilizations,
+//! breaker margin, SoC) — except where a baseline is explicitly granted
+//! oracle access (§VI-B).
+//!
+//! Causality per tick:
+//!
+//! 1. the policy decides from the *previous* tick's measurements
+//!    (one-period measurement delay, as in the paper's control loops);
+//! 2. frequency commands are applied (quantized by each server's DVFS
+//!    ladder);
+//! 3. workloads execute: the interactive tier turns demand into
+//!    utilization/queueing, batch jobs advance;
+//! 4. plant power is evaluated (servers + fans) and measured;
+//! 5. the feed serves the demand (UPS discharge target from the policy,
+//!    remainder through the breaker) — trips and brownouts happen here;
+//! 6. a brownout shuts the rack down for good (Fig. 5's ending).
+
+use crate::policy::{FreqCommand, Policy, PolicyCommand, SimView};
+use crate::recorder::{Recorder, Sample};
+use powersim::breaker::CircuitBreaker;
+use powersim::cpu::CoreRole;
+use powersim::fan::FanModel;
+use powersim::rack::{PowerMonitor, Rack};
+use powersim::topology::PowerFeed;
+use powersim::units::{NormFreq, Seconds, Utilization, Watts};
+use powersim::ups::UpsBattery;
+use workloads::batch::BatchJob;
+use workloads::interactive::InteractiveTier;
+
+/// Busy batch cores register near-full utilization on the performance
+/// counters (stall cycles count as busy for OS-level accounting).
+const BATCH_BUSY_UTIL: f64 = 0.95;
+
+/// The complete simulated plant plus workloads.
+pub struct RackSim {
+    pub rack: Rack,
+    pub feed: PowerFeed,
+    pub fan: FanModel,
+    pub monitor: PowerMonitor,
+    pub tier: InteractiveTier,
+    /// One job per batch core, rack order (server-major).
+    pub jobs: Vec<BatchJob>,
+    /// Per-server power state; a rack-level brownout clears all of them.
+    powered: Vec<bool>,
+    /// Permanent outage flag (post-brownout, Fig. 5).
+    shutdown: bool,
+    now: Seconds,
+    dt: Seconds,
+    /// Stale measurement fed to the policy (one-period delay).
+    last_measured: Watts,
+    last_fan: Watts,
+    max_rack_power: Watts,
+    /// Previous tick's mode label (event-log edge detection).
+    last_mode: &'static str,
+    /// Previous tick's breaker state (reclose detection).
+    last_breaker_closed: bool,
+}
+
+impl RackSim {
+    pub fn new(
+        rack: Rack,
+        breaker: CircuitBreaker,
+        ups: UpsBattery,
+        fan: FanModel,
+        monitor: PowerMonitor,
+        tier: InteractiveTier,
+        jobs: Vec<BatchJob>,
+        dt: Seconds,
+    ) -> Self {
+        let n = rack.num_servers();
+        assert_eq!(tier.weights.len(), n, "tier must cover every server");
+        assert_eq!(
+            jobs.len(),
+            rack.count_role(CoreRole::Batch),
+            "one job per batch core"
+        );
+        assert!(dt.0 > 0.0);
+        let max_rack_power = rack.max_power();
+        let initial = rack.power();
+        RackSim {
+            feed: PowerFeed::new(breaker, ups),
+            powered: vec![true; n],
+            shutdown: false,
+            now: Seconds::ZERO,
+            dt,
+            last_measured: initial,
+            last_fan: Watts::ZERO,
+            rack,
+            fan,
+            monitor,
+            tier,
+            jobs,
+            max_rack_power,
+            last_mode: "",
+            last_breaker_closed: true,
+        }
+    }
+
+    pub fn now(&self) -> Seconds {
+        self.now
+    }
+
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown
+    }
+
+    pub fn powered(&self) -> &[bool] {
+        &self.powered
+    }
+
+    /// Mean frequency over cores of `role`, counting shut-down servers as
+    /// zero — the convention behind Fig. 5(b)/Fig. 7's averages.
+    pub fn effective_mean_freq(&self, role: CoreRole) -> f64 {
+        let ids = self.rack.cores_with_role(role);
+        if ids.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = ids
+            .iter()
+            .map(|&id| {
+                if self.powered[id.server] {
+                    self.rack.freq(id).0
+                } else {
+                    0.0
+                }
+            })
+            .sum();
+        sum / ids.len() as f64
+    }
+
+    fn apply_freqs(&mut self, cmd: &FreqCommand) {
+        match cmd {
+            FreqCommand::RoleBased { interactive, batch } => {
+                self.rack.set_role_freq(CoreRole::Interactive, *interactive);
+                let ids = self.rack.cores_with_role(CoreRole::Batch);
+                assert_eq!(ids.len(), batch.len(), "one frequency per batch core");
+                for (id, &f) in ids.iter().zip(batch.iter()) {
+                    self.rack.set_freq(*id, NormFreq(f));
+                }
+            }
+            FreqCommand::AllCores(freqs) => {
+                let per_server = self.rack.servers[0].cores.len();
+                assert_eq!(
+                    freqs.len(),
+                    self.rack.num_servers() * per_server,
+                    "one frequency per core"
+                );
+                for (idx, &f) in freqs.iter().enumerate() {
+                    let id = powersim::rack::CoreId {
+                        server: idx / per_server,
+                        core: idx % per_server,
+                    };
+                    self.rack.set_freq(id, f);
+                }
+            }
+        }
+    }
+
+    /// Advance one control period under `policy`, appending to `rec`.
+    pub fn step(&mut self, policy: &mut dyn Policy, rec: &mut Recorder) {
+        let dt = self.dt;
+        // 1. Policy decision on stale measurements.
+        let view = SimView {
+            now: self.now,
+            dt,
+            p_total_measured: self.last_measured,
+            rack: &self.rack,
+            jobs: &self.jobs,
+            breaker_margin: self.feed.breaker.trip_margin(),
+            breaker_closed: self.feed.breaker.is_closed(),
+            ups_soc: self.feed.ups.soc_fraction(),
+            fan_power: self.last_fan,
+            shutdown: self.shutdown,
+        };
+        let command: PolicyCommand = policy.control(&view);
+
+        // 2. Actuate (no effect once shut down; hardware is off).
+        if !self.shutdown {
+            self.apply_freqs(&command.freqs);
+        }
+
+        // 3. Workloads execute.
+        let inter_freqs: Vec<NormFreq> = self
+            .rack
+            .servers
+            .iter()
+            .map(|s| s.mean_freq(CoreRole::Interactive).unwrap_or(NormFreq::PEAK))
+            .collect();
+        let loads = self
+            .tier
+            .step(self.now, dt, &inter_freqs, &self.powered);
+        for (s, load) in loads.iter().enumerate() {
+            for ci in self.rack.servers[s]
+                .cores_with_role(CoreRole::Interactive)
+                .collect::<Vec<_>>()
+            {
+                self.rack.servers[s].cores[ci].util = load.util;
+            }
+        }
+        {
+            let ids = self.rack.cores_with_role(CoreRole::Batch);
+            for (idx, id) in ids.iter().enumerate() {
+                let on = self.powered[id.server];
+                let job = &mut self.jobs[idx];
+                let was_done = job.is_done();
+                let f = if on { self.rack.freq(*id).0 } else { 0.0 };
+                job.step(f, dt);
+                if !was_done && job.is_done() {
+                    rec.push_event(
+                        Seconds(self.now.0 + dt.0),
+                        crate::recorder::SimEvent::JobCompleted { core: idx },
+                    );
+                }
+                let busy = on && (!job.is_done() || job.repeat);
+                self.rack.servers[id.server].cores[id.core].util =
+                    Utilization(if busy { BATCH_BUSY_UTIL } else { 0.0 });
+            }
+        }
+
+        // 4. Plant power.
+        let server_power = if self.shutdown { Watts::ZERO } else { self.rack.power() };
+        let fan_power = if self.shutdown {
+            Watts::ZERO
+        } else {
+            self.fan
+                .step(server_power.0 / self.max_rack_power.0.max(1.0), dt)
+        };
+        let p_true = server_power + fan_power;
+        let p_measured = self.monitor.measure(p_true);
+
+        // 5. Serve the demand.
+        let outcome = self.feed.step(p_true, command.ups_target, dt);
+
+        // 6. Brownout ⇒ permanent shutdown (servers lose power and the
+        // paper's scenario has no restart procedure).
+        let browned_out = outcome.shortfall.0 > 1.0;
+        if browned_out && !self.shutdown {
+            self.shutdown = true;
+            for p in self.powered.iter_mut() {
+                *p = false;
+            }
+        }
+
+        // Event log: edges only.
+        {
+            use crate::recorder::SimEvent;
+            let t = Seconds(self.now.0 + dt.0);
+            if outcome.tripped {
+                rec.push_event(t, SimEvent::BreakerTripped);
+            }
+            let closed = self.feed.breaker.is_closed();
+            if closed && !self.last_breaker_closed && !outcome.tripped {
+                rec.push_event(t, SimEvent::BreakerReclosed);
+            }
+            self.last_breaker_closed = closed;
+            if browned_out {
+                rec.push_event(t, SimEvent::Brownout);
+            }
+            if command.mode_label != self.last_mode {
+                rec.push_event(t, SimEvent::ModeChange(command.mode_label));
+                self.last_mode = command.mode_label;
+            }
+        }
+
+        self.now += dt;
+        self.last_measured = p_measured;
+        self.last_fan = fan_power;
+
+        rec.push(Sample {
+            t: self.now,
+            p_total: p_true,
+            p_measured,
+            p_server: server_power,
+            p_fan: fan_power,
+            cb_power: outcome.cb_power,
+            ups_power: outcome.ups_power,
+            shortfall: outcome.shortfall,
+            tripped: outcome.tripped,
+            breaker_closed: self.feed.breaker.is_closed(),
+            breaker_margin: self.feed.breaker.trip_margin(),
+            ups_soc: self.feed.ups.soc_fraction(),
+            p_cb_target: command.p_cb_target,
+            p_batch_target: command.p_batch_target,
+            mean_freq_interactive: self.effective_mean_freq(CoreRole::Interactive),
+            mean_freq_batch: self.effective_mean_freq(CoreRole::Batch),
+            interactive_backlog: self.tier.mean_backlog(),
+            mode_label: command.mode_label,
+        });
+    }
+
+    /// Run for `duration` under `policy`; returns the recording.
+    pub fn run(&mut self, policy: &mut dyn Policy, duration: Seconds) -> Recorder {
+        let steps = (duration.0 / self.dt.0).round() as usize;
+        let mut rec = Recorder::with_capacity(steps);
+        for _ in 0..steps {
+            self.step(policy, &mut rec);
+        }
+        rec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::tests_support::FixedPolicy;
+    use crate::scenario::Scenario;
+
+    fn sim() -> RackSim {
+        Scenario::paper_default(42).build()
+    }
+
+    #[test]
+    fn fixed_policy_runs_and_records() {
+        let mut s = sim();
+        let mut p = FixedPolicy::new(NormFreq::PEAK, 0.5, Watts::ZERO);
+        let rec = s.run(&mut p, Seconds(60.0));
+        assert_eq!(rec.len(), 60);
+        // Power within the physical envelope (plus fans).
+        for smp in rec.samples() {
+            assert!(smp.p_total.0 > 2000.0 && smp.p_total.0 < 5000.0);
+            assert_eq!(smp.shortfall, Watts::ZERO);
+        }
+        assert!(!s.is_shutdown());
+    }
+
+    #[test]
+    fn peak_everything_without_ups_trips_the_breaker() {
+        let mut s = sim();
+        // Everything at peak: ~4.3+ kW through a 3.2 kW breaker.
+        let mut p = FixedPolicy::new(NormFreq::PEAK, 1.0, Watts::ZERO);
+        let rec = s.run(&mut p, Seconds(300.0));
+        assert!(
+            rec.samples().iter().any(|s| s.tripped),
+            "sustained 1.3× overload must trip"
+        );
+        // After the trip the breaker carries nothing.
+        let after = rec
+            .samples()
+            .iter()
+            .skip_while(|s| !s.tripped)
+            .skip(1)
+            .take(10);
+        for smp in after {
+            assert_eq!(smp.cb_power, Watts::ZERO);
+            assert!(smp.ups_power.0 > 0.0, "UPS must carry the rack");
+        }
+    }
+
+    #[test]
+    fn ups_exhaustion_after_trip_causes_permanent_shutdown() {
+        let mut s = sim();
+        let mut p = FixedPolicy::new(NormFreq::PEAK, 1.0, Watts::ZERO);
+        let rec = s.run(&mut p, Seconds::minutes(15.0));
+        assert!(s.is_shutdown(), "UPS cannot carry 4+ kW for 12+ minutes");
+        // Frequencies report as zero once down.
+        let last = rec.samples().last().unwrap();
+        assert_eq!(last.mean_freq_interactive, 0.0);
+        assert_eq!(last.mean_freq_batch, 0.0);
+        assert_eq!(last.p_total, Watts::ZERO);
+        // And batch jobs stopped progressing.
+        let before: Vec<f64> = s.jobs.iter().map(|j| j.progress()).collect();
+        let mut p2 = FixedPolicy::new(NormFreq::PEAK, 1.0, Watts::ZERO);
+        s.step(&mut p2, &mut Recorder::with_capacity(1));
+        for (a, b) in before.iter().zip(s.jobs.iter().map(|j| j.progress())) {
+            assert_eq!(*a, b);
+        }
+    }
+
+    #[test]
+    fn ups_discharge_keeps_breaker_at_rated() {
+        let mut s = sim();
+        // Deadbeat UPS support like SprintCon's law, via a closure-free
+        // fixed policy: target enough discharge to cover everything over
+        // 3.2 kW at peak batch.
+        let mut p = FixedPolicy::new(NormFreq::PEAK, 1.0, Watts(1400.0));
+        let rec = s.run(&mut p, Seconds(120.0));
+        for smp in rec.samples() {
+            assert!(!smp.tripped, "UPS support must prevent the trip");
+            // A *fixed* (non-feedback) discharge leaves the CB near — but
+            // safely around — rated; trips require sustained overload.
+            assert!(smp.cb_power.0 < 3450.0, "cb={}", smp.cb_power);
+        }
+        assert!(s.feed.breaker.trip_margin() < 0.5);
+    }
+
+    #[test]
+    fn batch_jobs_progress_with_frequency() {
+        let mut s = sim();
+        let mut p = FixedPolicy::new(NormFreq::PEAK, 0.6, Watts(500.0));
+        s.run(&mut p, Seconds(120.0));
+        for j in &s.jobs {
+            assert!(j.progress() > 0.0, "job {} made no progress", j.name);
+        }
+    }
+
+    #[test]
+    fn event_log_captures_the_fig5_sequence() {
+        use crate::recorder::SimEvent;
+        let mut s = sim();
+        let mut p = FixedPolicy::new(NormFreq::PEAK, 1.0, Watts::ZERO);
+        let rec = s.run(&mut p, Seconds::minutes(15.0));
+        let kinds: Vec<&SimEvent> = rec.events().iter().map(|(_, e)| e).collect();
+        // The uncontrolled sequence: trip → reclose → … → brownout.
+        assert!(kinds.contains(&&SimEvent::BreakerTripped));
+        assert!(kinds.contains(&&SimEvent::BreakerReclosed));
+        assert!(kinds.contains(&&SimEvent::Brownout));
+        // Order: the first trip precedes the brownout.
+        let t_trip = rec
+            .events_where(|e| matches!(e, SimEvent::BreakerTripped))
+            .next()
+            .unwrap()
+            .0;
+        let t_down = rec
+            .events_where(|e| matches!(e, SimEvent::Brownout))
+            .next()
+            .unwrap()
+            .0;
+        assert!(t_trip.0 < t_down.0);
+        // The fixed policy emits exactly one mode label.
+        let modes: Vec<_> = rec
+            .events_where(|e| matches!(e, SimEvent::ModeChange(_)))
+            .collect();
+        assert_eq!(modes.len(), 1);
+    }
+
+    #[test]
+    fn job_completions_are_logged_once_per_core() {
+        use crate::recorder::SimEvent;
+        let mut s = sim();
+        // Fast batch: jobs complete well inside the horizon.
+        let mut p = FixedPolicy::new(NormFreq::PEAK, 1.0, Watts(1500.0));
+        let rec = s.run(&mut p, Seconds::minutes(12.0));
+        let completions = rec
+            .events_where(|e| matches!(e, SimEvent::JobCompleted { .. }))
+            .count();
+        assert_eq!(completions, 64, "one first-completion per batch core");
+    }
+
+    #[test]
+    fn interactive_utilization_reflects_demand() {
+        let mut s = sim();
+        let mut p = FixedPolicy::new(NormFreq::PEAK, 0.5, Watts(500.0));
+        s.run(&mut p, Seconds(60.0));
+        let u = s
+            .rack
+            .mean_role_util(CoreRole::Interactive)
+            .unwrap();
+        assert!(u.0 > 0.3 && u.0 <= 1.0, "u={u}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Experiment harness: run policies over scenarios, in parallel where a
+//! sweep allows it, with deterministic result ordering.
+
+use crate::metrics::RunSummary;
+use crate::policy::{Policy, SgctSimPolicy, SprintConPolicy};
+use crate::recorder::Recorder;
+use crate::scenario::Scenario;
+
+/// The four policies of §VII, in the paper's presentation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    SprintCon,
+    Sgct,
+    SgctV1,
+    SgctV2,
+}
+
+impl PolicyKind {
+    pub const ALL: [PolicyKind; 4] = [
+        PolicyKind::SprintCon,
+        PolicyKind::Sgct,
+        PolicyKind::SgctV1,
+        PolicyKind::SgctV2,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::SprintCon => "SprintCon",
+            PolicyKind::Sgct => "SGCT",
+            PolicyKind::SgctV1 => "SGCT-V1",
+            PolicyKind::SgctV2 => "SGCT-V2",
+        }
+    }
+
+    /// Instantiate a fresh policy.
+    pub fn build(&self) -> Box<dyn Policy> {
+        match self {
+            PolicyKind::SprintCon => Box::new(SprintConPolicy::paper_default()),
+            PolicyKind::Sgct => Box::new(SgctSimPolicy::new(baselines::SgctVariant::Uncontrolled)),
+            PolicyKind::SgctV1 => Box::new(SgctSimPolicy::new(baselines::SgctVariant::V1Ideal)),
+            PolicyKind::SgctV2 => Box::new(SgctSimPolicy::new(
+                baselines::SgctVariant::V2InteractivePriority,
+            )),
+        }
+    }
+}
+
+/// Run one policy over one scenario end to end.
+pub fn run_policy(scenario: &Scenario, kind: PolicyKind) -> (Recorder, RunSummary) {
+    let mut sim = scenario.build();
+    let mut policy = kind.build();
+    let rec = sim.run(policy.as_mut(), scenario.duration);
+    let summary = RunSummary::from_run(kind.name(), &sim, &rec);
+    (rec, summary)
+}
+
+/// Run every §VII policy over the scenario (sequentially — each run is
+/// itself cheap; parallelism lives in [`sweep`]).
+pub fn run_all(scenario: &Scenario) -> Vec<(Recorder, RunSummary)> {
+    PolicyKind::ALL
+        .iter()
+        .map(|k| run_policy(scenario, *k))
+        .collect()
+}
+
+/// Parallel parameter sweep with deterministic, input-ordered results.
+///
+/// Fans out across threads with `crossbeam::scope`; each worker owns its
+/// own scenario/simulation, so there is no shared mutable state (the
+/// guide-recommended data-parallel shape).
+pub fn sweep<P, R, F>(params: &[P], f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
+    let n = params.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n.max(1));
+    crossbeam::scope(|scope| {
+        let chunks = out.chunks_mut(n.div_ceil(threads));
+        for (ci, chunk) in chunks.enumerate() {
+            let f = &f;
+            let base = ci * n.div_ceil(threads);
+            let params = &params;
+            scope.spawn(move |_| {
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    *slot = Some(f(&params[base + i]));
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    out.into_iter().map(|r| r.expect("sweep slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powersim::units::Seconds;
+
+    #[test]
+    fn sweep_preserves_order_and_runs_everything() {
+        let params: Vec<u64> = (0..17).collect();
+        let out = sweep(&params, |p| p * 2);
+        assert_eq!(out, (0..17).map(|p| p * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sweep_handles_empty_and_single() {
+        let empty: Vec<u64> = vec![];
+        assert!(sweep(&empty, |p| *p).is_empty());
+        assert_eq!(sweep(&[5u64], |p| p + 1), vec![6]);
+    }
+
+    #[test]
+    fn run_policy_produces_full_recording() {
+        let mut sc = Scenario::paper_default(11);
+        sc.duration = Seconds(60.0); // keep the unit test quick
+        let (rec, summary) = run_policy(&sc, PolicyKind::SgctV1);
+        assert_eq!(rec.len(), 60);
+        assert_eq!(summary.policy, "SGCT-V1");
+    }
+
+    #[test]
+    fn sweep_of_scenarios_is_deterministic() {
+        let mut sc = Scenario::paper_default(5);
+        sc.duration = Seconds(30.0);
+        let seeds: Vec<u64> = vec![1, 2, 3, 4];
+        let run = |seed: &u64| {
+            let mut s = sc.clone();
+            s.seed = *seed;
+            run_policy(&s, PolicyKind::SgctV2).1.avg_freq_batch
+        };
+        let a = sweep(&seeds, run);
+        let b = sweep(&seeds, run);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,35 @@
+//! # simkit — the discrete-time rack simulation and experiment harness
+//!
+//! Drives the `powersim` plant and `workloads` under a control
+//! [`policy::Policy`] — SprintCon, the SGCT baselines, or fixed test
+//! policies — one control period at a time, and measures what the
+//! paper's evaluation measures.
+//!
+//! * [`engine`] — the tick loop (actuate → execute → power → serve →
+//!   record) with trip/brownout semantics.
+//! * [`policy`] — the policy trait plus SprintCon/SGCT adapters.
+//! * [`scenario`] — the §VI-A setup builder (16 servers, 3.2 kW CB,
+//!   400 Wh UPS, Wikipedia-like burst, SPEC-like jobs).
+//! * [`recorder`] — per-period samples, CSV export, column extraction.
+//! * [`metrics`] — run summaries (avg frequencies, DoD, deadlines, …).
+//! * [`experiment`] — policy runners and parallel parameter sweeps.
+//! * [`ascii_plot`] — terminal charts for the examples and figure bins.
+
+#![forbid(unsafe_code)]
+
+pub mod ascii_plot;
+pub mod engine;
+pub mod experiment;
+pub mod metrics;
+pub mod policy;
+pub mod qos;
+pub mod recorder;
+pub mod scenario;
+
+pub use engine::RackSim;
+pub use experiment::{run_all, run_policy, sweep, PolicyKind};
+pub use metrics::{summary_table, RunSummary};
+pub use policy::{FreqCommand, Policy, PolicyCommand, SgctSimPolicy, SimView, SprintConPolicy};
+pub use qos::{qos_report, QosReport};
+pub use recorder::{Recorder, Sample, SimEvent};
+pub use scenario::Scenario;

@@ -1,0 +1,276 @@
+//! The policy interface between the simulation engine and the control
+//! systems under test, plus the adapters for SprintCon and the SGCT
+//! family.
+
+use powersim::rack::Rack;
+use powersim::units::{NormFreq, Seconds, Utilization, Watts};
+use workloads::batch::BatchJob;
+
+/// Everything a policy may observe at the start of a control period.
+pub struct SimView<'a> {
+    pub now: Seconds,
+    pub dt: Seconds,
+    /// Noisy, one-period-stale power-monitor reading.
+    pub p_total_measured: Watts,
+    /// The rack — policies read utilizations/frequencies from it; the
+    /// idealized baselines additionally use it as a power oracle.
+    pub rack: &'a Rack,
+    /// Batch jobs in rack batch-core order.
+    pub jobs: &'a [BatchJob],
+    pub breaker_margin: f64,
+    pub breaker_closed: bool,
+    pub ups_soc: f64,
+    /// Fan power of the previous period (granted to ideal baselines).
+    pub fan_power: Watts,
+    /// The rack suffered a permanent brownout.
+    pub shutdown: bool,
+}
+
+impl SimView<'_> {
+    /// Per-server mean interactive utilization (what Eq. (5) consumes).
+    pub fn interactive_utils(&self) -> Vec<Utilization> {
+        self.rack.interactive_util_vector()
+    }
+
+    /// Current per-batch-core frequencies, rack order.
+    pub fn batch_freqs(&self) -> Vec<f64> {
+        self.rack
+            .cores_with_role(powersim::cpu::CoreRole::Batch)
+            .iter()
+            .map(|&id| self.rack.freq(id).0)
+            .collect()
+    }
+}
+
+/// Frequency actuation for one period.
+pub enum FreqCommand {
+    /// Interactive cores get one frequency; batch cores are individually
+    /// driven (SprintCon's shape).
+    RoleBased {
+        interactive: NormFreq,
+        batch: Vec<f64>,
+    },
+    /// Every core individually (the SGCT family's shape).
+    AllCores(Vec<NormFreq>),
+}
+
+/// A policy's output for one control period.
+pub struct PolicyCommand {
+    pub freqs: FreqCommand,
+    pub ups_target: Watts,
+    /// Published breaker budget, for recording/plotting (Fig. 5/6).
+    pub p_cb_target: Option<Watts>,
+    /// Published batch budget (SprintCon only).
+    pub p_batch_target: Option<Watts>,
+    /// Short label of the policy's internal mode, for traces.
+    pub mode_label: &'static str,
+}
+
+/// A control policy under test.
+pub trait Policy {
+    fn name(&self) -> &'static str;
+    fn control(&mut self, view: &SimView<'_>) -> PolicyCommand;
+}
+
+// ---------------------------------------------------------------------
+// SprintCon adapter
+// ---------------------------------------------------------------------
+
+/// [`sprintcon::SprintCon`] driving the rack.
+pub struct SprintConPolicy {
+    ctl: sprintcon::SprintCon,
+}
+
+impl SprintConPolicy {
+    pub fn new(cfg: sprintcon::SprintConConfig) -> Self {
+        SprintConPolicy {
+            ctl: sprintcon::SprintCon::new(cfg),
+        }
+    }
+
+    pub fn paper_default() -> Self {
+        Self::new(sprintcon::SprintConConfig::paper_default())
+    }
+
+    pub fn inner(&self) -> &sprintcon::SprintCon {
+        &self.ctl
+    }
+}
+
+impl Policy for SprintConPolicy {
+    fn name(&self) -> &'static str {
+        "SprintCon"
+    }
+
+    fn control(&mut self, view: &SimView<'_>) -> PolicyCommand {
+        let utils = view.interactive_utils();
+        let batch_freqs = view.batch_freqs();
+        let out = self.ctl.step(
+            view.dt,
+            sprintcon::SprintConInputs {
+                p_total: view.p_total_measured,
+                interactive_util: &utils,
+                batch_freqs: &batch_freqs,
+                jobs: view.jobs,
+                breaker_margin: view.breaker_margin,
+                breaker_closed: view.breaker_closed,
+                ups_soc: view.ups_soc,
+            },
+        );
+        let mode_label = match out.mode {
+            sprintcon::SprintMode::Sprinting => "sprint",
+            sprintcon::SprintMode::CbProtect => "cb-protect",
+            sprintcon::SprintMode::UpsConserve => "ups-conserve",
+            sprintcon::SprintMode::Ended => "ended",
+        };
+        PolicyCommand {
+            freqs: FreqCommand::RoleBased {
+                interactive: out.interactive_freq,
+                batch: out.batch_freqs,
+            },
+            ups_target: out.ups_discharge,
+            p_cb_target: out.p_cb_target,
+            p_batch_target: Some(out.p_batch_target),
+            mode_label,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// SGCT adapters
+// ---------------------------------------------------------------------
+
+/// An SGCT-family baseline driving the rack.
+pub struct SgctSimPolicy {
+    policy: baselines::SgctPolicy,
+    name: &'static str,
+}
+
+impl SgctSimPolicy {
+    pub fn new(variant: baselines::SgctVariant) -> Self {
+        let name = match variant {
+            baselines::SgctVariant::Uncontrolled => "SGCT",
+            baselines::SgctVariant::V1Ideal => "SGCT-V1",
+            baselines::SgctVariant::V2InteractivePriority => "SGCT-V2",
+        };
+        SgctSimPolicy {
+            policy: baselines::SgctPolicy::new(baselines::SgctConfig::paper_default(variant)),
+            name,
+        }
+    }
+
+    pub fn variant(&self) -> baselines::SgctVariant {
+        self.policy.cfg.variant
+    }
+}
+
+impl Policy for SgctSimPolicy {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn control(&mut self, view: &SimView<'_>) -> PolicyCommand {
+        let cmd = self
+            .policy
+            .step(view.dt, view.rack, view.p_total_measured, view.fan_power);
+        PolicyCommand {
+            freqs: FreqCommand::AllCores(cmd.freqs),
+            ups_target: cmd.ups_target,
+            p_cb_target: Some(if cmd.overloading {
+                self.policy.cfg.sprint_budget()
+            } else {
+                self.policy.cfg.rated
+            }),
+            p_batch_target: None,
+            mode_label: if cmd.overloading { "overload" } else { "recover" },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Test support
+// ---------------------------------------------------------------------
+
+/// Trivial policies used by engine tests and ablations.
+pub mod tests_support {
+    use super::*;
+
+    /// Holds interactive at one frequency, batch at another, with a
+    /// constant UPS discharge target.
+    pub struct FixedPolicy {
+        pub interactive: NormFreq,
+        pub batch: f64,
+        pub ups: Watts,
+    }
+
+    impl FixedPolicy {
+        pub fn new(interactive: NormFreq, batch: f64, ups: Watts) -> Self {
+            FixedPolicy {
+                interactive,
+                batch,
+                ups,
+            }
+        }
+    }
+
+    impl Policy for FixedPolicy {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+
+        fn control(&mut self, view: &SimView<'_>) -> PolicyCommand {
+            let n = view.jobs.len();
+            PolicyCommand {
+                freqs: FreqCommand::RoleBased {
+                    interactive: self.interactive,
+                    batch: vec![self.batch; n],
+                },
+                ups_target: self.ups,
+                p_cb_target: None,
+                p_batch_target: None,
+                mode_label: "fixed",
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn sprintcon_policy_emits_valid_commands() {
+        let mut sim = Scenario::paper_default(7).build();
+        let mut p = SprintConPolicy::paper_default();
+        let rec = sim.run(&mut p, Seconds(30.0));
+        assert_eq!(p.name(), "SprintCon");
+        let last = rec.samples().last().unwrap();
+        assert_eq!(last.p_cb_target, Some(Watts(4000.0)));
+        assert!(last.p_batch_target.is_some());
+        assert_eq!(last.mean_freq_interactive, 1.0);
+    }
+
+    #[test]
+    fn sgct_adapters_have_distinct_names() {
+        let a = SgctSimPolicy::new(baselines::SgctVariant::Uncontrolled);
+        let b = SgctSimPolicy::new(baselines::SgctVariant::V1Ideal);
+        let c = SgctSimPolicy::new(baselines::SgctVariant::V2InteractivePriority);
+        assert_eq!(a.name(), "SGCT");
+        assert_eq!(b.name(), "SGCT-V1");
+        assert_eq!(c.name(), "SGCT-V2");
+    }
+
+    #[test]
+    fn sgct_policy_runs_in_the_engine() {
+        let mut sim = Scenario::paper_default(7).build();
+        let mut p = SgctSimPolicy::new(baselines::SgctVariant::V1Ideal);
+        let rec = sim.run(&mut p, Seconds(30.0));
+        let last = rec.samples().last().unwrap();
+        // Overload phase at the start: budget 4 kW; the ideal variant
+        // only shaves the plan-vs-plant residual with the UPS.
+        assert_eq!(last.p_cb_target, Some(Watts(4000.0)));
+        assert!(last.ups_power.0 < 500.0, "ups={}", last.ups_power);
+        assert!(last.cb_power.0 > 3500.0, "cb={}", last.cb_power);
+    }
+}

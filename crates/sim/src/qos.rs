@@ -1,0 +1,135 @@
+//! Interactive quality-of-service analytics.
+//!
+//! The paper's motivation for pinning interactive cores at peak frequency
+//! is latency; the engine tracks the queued backlog per period, and this
+//! module turns backlog into the QoS quantities an operator would watch:
+//! a queueing-delay proxy, percentiles, and SLO-violation accounting.
+
+use crate::recorder::Recorder;
+
+/// QoS report for the interactive tier over one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QosReport {
+    /// Mean queueing-delay proxy, seconds (backlog / service capacity —
+    /// how long the queued work takes to drain at peak service rate).
+    pub mean_delay_s: f64,
+    /// 95th / 99th percentile of the delay proxy.
+    pub p95_delay_s: f64,
+    pub p99_delay_s: f64,
+    /// Worst delay over the run.
+    pub max_delay_s: f64,
+    /// Fraction of periods whose delay exceeded the SLO.
+    pub violation_fraction: f64,
+    /// Longest consecutive violation streak, periods.
+    pub longest_violation_s: f64,
+}
+
+/// Compute a [`QosReport`] from a recording.
+///
+/// `slo_delay_s` is the delay budget (e.g. 0.25 s of queued work per
+/// core). The delay proxy for a period is its mean backlog (peak-core-
+/// seconds per core): the time a newly arriving request would wait for
+/// the queue ahead of it at peak service rate.
+pub fn qos_report(rec: &Recorder, slo_delay_s: f64) -> QosReport {
+    assert!(slo_delay_s > 0.0, "SLO must be positive");
+    let delays: Vec<f64> = rec
+        .samples()
+        .iter()
+        .map(|s| s.interactive_backlog)
+        .collect();
+    if delays.is_empty() {
+        return QosReport {
+            mean_delay_s: 0.0,
+            p95_delay_s: 0.0,
+            p99_delay_s: 0.0,
+            max_delay_s: 0.0,
+            violation_fraction: 0.0,
+            longest_violation_s: 0.0,
+        };
+    }
+    let mut sorted = delays.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN backlog"));
+    let pct = |p: f64| sorted[((p * (sorted.len() - 1) as f64).round()) as usize];
+    let violations = delays.iter().filter(|&&d| d > slo_delay_s).count();
+    let mut longest = 0usize;
+    let mut run = 0usize;
+    for &d in &delays {
+        if d > slo_delay_s {
+            run += 1;
+            longest = longest.max(run);
+        } else {
+            run = 0;
+        }
+    }
+    let dt = if rec.samples().len() >= 2 {
+        rec.samples()[1].t.0 - rec.samples()[0].t.0
+    } else {
+        1.0
+    };
+    QosReport {
+        mean_delay_s: delays.iter().sum::<f64>() / delays.len() as f64,
+        p95_delay_s: pct(0.95),
+        p99_delay_s: pct(0.99),
+        max_delay_s: *sorted.last().unwrap(),
+        violation_fraction: violations as f64 / delays.len() as f64,
+        longest_violation_s: longest as f64 * dt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::tests_support::FixedPolicy;
+    use crate::scenario::Scenario;
+    use powersim::units::{NormFreq, Seconds, Watts};
+
+    fn run_with_interactive_freq(f: f64) -> Recorder {
+        let mut sim = Scenario::paper_default(3).build();
+        let mut p = FixedPolicy::new(NormFreq(f), 0.3, Watts(1200.0));
+        sim.run(&mut p, Seconds(240.0))
+    }
+
+    #[test]
+    fn peak_frequency_keeps_qos_clean() {
+        let rec = run_with_interactive_freq(1.0);
+        let q = qos_report(&rec, 0.25);
+        assert!(q.violation_fraction < 0.05, "{q:?}");
+        assert!(q.p99_delay_s < 1.0);
+        assert!(q.mean_delay_s <= q.p95_delay_s);
+        assert!(q.p95_delay_s <= q.p99_delay_s);
+        assert!(q.p99_delay_s <= q.max_delay_s);
+    }
+
+    #[test]
+    fn throttled_interactive_cores_blow_the_slo() {
+        // At 0.4× peak against ~0.6 demand, the queue grows: QoS must
+        // show sustained violations — this is why SprintCon refuses to
+        // throttle interactive cores.
+        let rec = run_with_interactive_freq(0.4);
+        let q = qos_report(&rec, 0.25);
+        assert!(q.violation_fraction > 0.5, "{q:?}");
+        assert!(q.longest_violation_s > 30.0);
+        assert!(q.max_delay_s > 1.0);
+    }
+
+    #[test]
+    fn report_is_monotone_in_service_quality() {
+        let good = qos_report(&run_with_interactive_freq(1.0), 0.25);
+        let bad = qos_report(&run_with_interactive_freq(0.5), 0.25);
+        assert!(bad.mean_delay_s > good.mean_delay_s);
+        assert!(bad.violation_fraction >= good.violation_fraction);
+    }
+
+    #[test]
+    fn empty_recorder_is_all_zero() {
+        let q = qos_report(&Recorder::default(), 0.25);
+        assert_eq!(q.mean_delay_s, 0.0);
+        assert_eq!(q.violation_fraction, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "SLO must be positive")]
+    fn rejects_zero_slo() {
+        qos_report(&Recorder::default(), 0.0);
+    }
+}

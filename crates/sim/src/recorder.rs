@@ -1,0 +1,290 @@
+//! Time-series recording of simulation runs, with CSV export and
+//! column-wise extraction for the figure harness.
+
+use powersim::units::{Seconds, Watts};
+use std::io::Write;
+use std::path::Path;
+use workloads::trace::Trace;
+
+/// One control period's worth of observations.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    pub t: Seconds,
+    /// True total rack power (servers + fans).
+    pub p_total: Watts,
+    /// What the (noisy) monitor reported.
+    pub p_measured: Watts,
+    pub p_server: Watts,
+    pub p_fan: Watts,
+    /// Power delivered through the breaker.
+    pub cb_power: Watts,
+    /// Power delivered by the UPS.
+    pub ups_power: Watts,
+    /// Unserved demand (brownout indicator).
+    pub shortfall: Watts,
+    /// The breaker tripped during this period.
+    pub tripped: bool,
+    pub breaker_closed: bool,
+    pub breaker_margin: f64,
+    pub ups_soc: f64,
+    /// Policy-published breaker budget (Fig. 5/6's "CB budget" curve).
+    pub p_cb_target: Option<Watts>,
+    /// Policy-published batch budget.
+    pub p_batch_target: Option<Watts>,
+    /// Mean normalized frequency of interactive cores (0 when down).
+    pub mean_freq_interactive: f64,
+    /// Mean normalized frequency of batch cores (0 when down).
+    pub mean_freq_batch: f64,
+    /// Mean queued interactive backlog (peak-core-seconds per core).
+    pub interactive_backlog: f64,
+    pub mode_label: &'static str,
+}
+
+/// A discrete event worth indexing a run by.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimEvent {
+    /// The breaker tripped open.
+    BreakerTripped,
+    /// The breaker re-closed after its delay.
+    BreakerReclosed,
+    /// The rack browned out (unserved demand) and shut down.
+    Brownout,
+    /// The policy's internal mode changed (label = new mode).
+    ModeChange(&'static str),
+    /// A batch job completed its first run.
+    JobCompleted { core: usize },
+}
+
+/// An append-only recording of one run.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    samples: Vec<Sample>,
+    events: Vec<(Seconds, SimEvent)>,
+}
+
+impl Recorder {
+    pub fn with_capacity(n: usize) -> Self {
+        Recorder {
+            samples: Vec::with_capacity(n),
+            events: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, s: Sample) {
+        self.samples.push(s);
+    }
+
+    /// Record a discrete event at time `t`.
+    pub fn push_event(&mut self, t: Seconds, e: SimEvent) {
+        self.events.push((t, e));
+    }
+
+    /// All recorded events, in order.
+    pub fn events(&self) -> &[(Seconds, SimEvent)] {
+        &self.events
+    }
+
+    /// Events matching a predicate.
+    pub fn events_where<'a>(
+        &'a self,
+        pred: impl Fn(&SimEvent) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a (Seconds, SimEvent)> + 'a {
+        self.events.iter().filter(move |(_, e)| pred(e))
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    fn dt(&self) -> Seconds {
+        if self.samples.len() >= 2 {
+            Seconds(self.samples[1].t.0 - self.samples[0].t.0)
+        } else {
+            Seconds(1.0)
+        }
+    }
+
+    /// Extract a column as a [`Trace`].
+    pub fn column(&self, f: impl Fn(&Sample) -> f64) -> Trace {
+        Trace::new(self.dt(), self.samples.iter().map(f).collect())
+    }
+
+    /// Total energy delivered by the UPS over the run, Wh.
+    pub fn ups_energy_wh(&self) -> f64 {
+        let dt = self.dt();
+        self.samples
+            .iter()
+            .map(|s| s.ups_power.over(dt).0)
+            .sum()
+    }
+
+    /// Total energy through the breaker, Wh.
+    pub fn cb_energy_wh(&self) -> f64 {
+        let dt = self.dt();
+        self.samples.iter().map(|s| s.cb_power.over(dt).0).sum()
+    }
+
+    /// Number of breaker trips.
+    pub fn trip_count(&self) -> usize {
+        self.samples.iter().filter(|s| s.tripped).count()
+    }
+
+    /// First time the rack browned out, if ever.
+    pub fn first_shortfall(&self) -> Option<Seconds> {
+        self.samples
+            .iter()
+            .find(|s| s.shortfall.0 > 1.0)
+            .map(|s| s.t)
+    }
+
+    /// Mean interactive frequency over the whole run (zeros included).
+    pub fn avg_freq_interactive(&self) -> f64 {
+        mean(self.samples.iter().map(|s| s.mean_freq_interactive))
+    }
+
+    /// Mean batch frequency over the whole run (zeros included).
+    pub fn avg_freq_batch(&self) -> f64 {
+        mean(self.samples.iter().map(|s| s.mean_freq_batch))
+    }
+
+    /// Write the full recording as CSV.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(
+            out,
+            "t_s,p_total_w,p_measured_w,p_server_w,p_fan_w,cb_power_w,ups_power_w,\
+             shortfall_w,tripped,breaker_closed,breaker_margin,ups_soc,p_cb_target_w,\
+             p_batch_target_w,freq_interactive,freq_batch,backlog,mode"
+        )?;
+        for s in &self.samples {
+            writeln!(
+                out,
+                "{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{},{},{:.4},{:.4},{},{},{:.4},{:.4},{:.4},{}",
+                s.t.0,
+                s.p_total.0,
+                s.p_measured.0,
+                s.p_server.0,
+                s.p_fan.0,
+                s.cb_power.0,
+                s.ups_power.0,
+                s.shortfall.0,
+                s.tripped as u8,
+                s.breaker_closed as u8,
+                s.breaker_margin,
+                s.ups_soc,
+                s.p_cb_target.map_or(String::from(""), |w| format!("{:.1}", w.0)),
+                s.p_batch_target.map_or(String::from(""), |w| format!("{:.1}", w.0)),
+                s.mean_freq_interactive,
+                s.mean_freq_batch,
+                s.interactive_backlog,
+                s.mode_label,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn mean(it: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = it.fold((0.0, 0usize), |(s, n), v| (s + v, n + 1));
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: f64, ups: f64, cb: f64) -> Sample {
+        Sample {
+            t: Seconds(t),
+            p_total: Watts(cb + ups),
+            p_measured: Watts(cb + ups),
+            p_server: Watts(cb + ups - 50.0),
+            p_fan: Watts(50.0),
+            cb_power: Watts(cb),
+            ups_power: Watts(ups),
+            shortfall: Watts::ZERO,
+            tripped: false,
+            breaker_closed: true,
+            breaker_margin: 0.1,
+            ups_soc: 0.9,
+            p_cb_target: Some(Watts(4000.0)),
+            p_batch_target: None,
+            mean_freq_interactive: 1.0,
+            mean_freq_batch: 0.6,
+            interactive_backlog: 0.0,
+            mode_label: "sprint",
+        }
+    }
+
+    #[test]
+    fn energy_accounting() {
+        let mut r = Recorder::default();
+        // 600 s at 600 W UPS → 100 Wh.
+        for k in 0..600 {
+            r.push(sample(k as f64, 600.0, 3200.0));
+        }
+        assert!((r.ups_energy_wh() - 100.0).abs() < 1e-9);
+        assert!((r.cb_energy_wh() - 3200.0 * 600.0 / 3600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn column_extraction() {
+        let mut r = Recorder::default();
+        for k in 0..10 {
+            r.push(sample(k as f64 * 2.0, 100.0, 3000.0));
+        }
+        let col = r.column(|s| s.ups_power.0);
+        assert_eq!(col.len(), 10);
+        assert_eq!(col.dt, Seconds(2.0));
+        assert_eq!(col.mean(), 100.0);
+    }
+
+    #[test]
+    fn averages_and_counters() {
+        let mut r = Recorder::default();
+        let mut s1 = sample(0.0, 0.0, 4000.0);
+        s1.tripped = true;
+        r.push(s1);
+        let mut s2 = sample(1.0, 0.0, 0.0);
+        s2.mean_freq_interactive = 0.0;
+        s2.mean_freq_batch = 0.0;
+        s2.shortfall = Watts(500.0);
+        r.push(s2);
+        assert_eq!(r.trip_count(), 1);
+        assert_eq!(r.first_shortfall(), Some(Seconds(1.0)));
+        assert!((r.avg_freq_interactive() - 0.5).abs() < 1e-12);
+        assert!((r.avg_freq_batch() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let mut r = Recorder::default();
+        for k in 0..5 {
+            r.push(sample(k as f64, 10.0, 3000.0));
+        }
+        let dir = std::env::temp_dir().join("sprintcon_test_csv");
+        let path = dir.join("rec.csv");
+        r.write_csv(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 6); // header + 5 rows
+        assert!(lines[0].starts_with("t_s,"));
+        assert_eq!(lines[1].split(',').count(), 18);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

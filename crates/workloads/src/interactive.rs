@@ -1,0 +1,251 @@
+//! Interactive-tier execution model.
+//!
+//! The interactive demand trace (see [`crate::wiki_trace`]) gives, per
+//! second, the normalized work arriving per interactive core. A core
+//! running at normalized frequency `f` can serve `f` peak-core units per
+//! second; demand above that queues. Utilization — what the paper's
+//! monitors feed into Eq. (5) — is the served fraction of capacity:
+//! `u = served / f`.
+//!
+//! The model deliberately makes slow interactive cores *look busier*:
+//! that is how SGCT's utilization-ranked sprinting (§VI-B) ends up giving
+//! batch cores priority, and why SGCT-V2 overrides the ranking.
+
+use crate::trace::Trace;
+use powersim::units::{NormFreq, Seconds, Utilization};
+
+/// Per-server weights spreading rack demand unevenly (real front-end load
+/// balancing is never perfect). Deterministic, mean 1.0.
+pub fn server_weights(n: usize, spread: f64) -> Vec<f64> {
+    assert!(n > 0 && (0.0..1.0).contains(&spread));
+    let raw: Vec<f64> = (0..n)
+        .map(|i| 1.0 + spread * ((i as f64 * 2.399_963).sin()))
+        .collect();
+    let mean = raw.iter().sum::<f64>() / n as f64;
+    raw.into_iter().map(|w| w / mean).collect()
+}
+
+/// State of the interactive tier across the rack.
+#[derive(Debug, Clone)]
+pub struct InteractiveTier {
+    /// Normalized per-core demand trace (peak-core units per second).
+    pub demand: Trace,
+    /// Per-server demand weights, mean 1.0.
+    pub weights: Vec<f64>,
+    /// Per-server queued backlog, in peak-core-seconds per core.
+    backlog: Vec<f64>,
+    /// Backlog cap; beyond it requests are shed (timeouts) and counted.
+    pub backlog_cap: f64,
+    /// Total demand that arrived, peak-core-seconds per core, rack-mean.
+    pub arrived: f64,
+    /// Total demand served.
+    pub served_total: f64,
+    /// Total demand shed at the backlog cap.
+    pub shed_total: f64,
+}
+
+/// Per-server result of one interactive step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InteractiveLoad {
+    /// Core utilization to apply to this server's interactive cores.
+    pub util: Utilization,
+    /// Work served this step, peak-core-seconds per core.
+    pub served: f64,
+    /// Instantaneous demand (incl. backlog drain), peak-core units.
+    pub offered: f64,
+    /// Queued backlog after the step, peak-core-seconds per core.
+    pub backlog: f64,
+}
+
+impl InteractiveTier {
+    pub fn new(demand: Trace, num_servers: usize) -> Self {
+        InteractiveTier {
+            demand,
+            weights: server_weights(num_servers, 0.12),
+            backlog: vec![0.0; num_servers],
+            backlog_cap: 3.0,
+            arrived: 0.0,
+            served_total: 0.0,
+            shed_total: 0.0,
+        }
+    }
+
+    /// Advance the tier by `dt` with per-server interactive frequencies
+    /// `freqs` (length = number of servers). `powered[s] == false` means
+    /// the server is shut down (brownout): nothing is served and arriving
+    /// demand is shed.
+    pub fn step(&mut self, t: Seconds, dt: Seconds, freqs: &[NormFreq], powered: &[bool]) -> Vec<InteractiveLoad> {
+        assert_eq!(freqs.len(), self.weights.len());
+        assert_eq!(powered.len(), self.weights.len());
+        let base = self.demand.at(t);
+        let mut out = Vec::with_capacity(freqs.len());
+        for s in 0..freqs.len() {
+            let demand = base * self.weights[s];
+            self.arrived += demand * dt.0 / self.weights.len() as f64;
+            if !powered[s] {
+                // Shut down: everything arriving (and queued) is lost.
+                self.shed_total += (demand * dt.0 + self.backlog[s]) / self.weights.len() as f64;
+                self.backlog[s] = 0.0;
+                out.push(InteractiveLoad {
+                    util: Utilization::IDLE,
+                    served: 0.0,
+                    offered: demand,
+                    backlog: 0.0,
+                });
+                continue;
+            }
+            let capacity = freqs[s].0.max(0.0); // peak-core units/second
+            let offered = demand + self.backlog[s] / dt.0;
+            let served_rate = offered.min(capacity);
+            let served = served_rate * dt.0;
+            let mut backlog = self.backlog[s] + (demand - served_rate) * dt.0;
+            if backlog < 0.0 {
+                backlog = 0.0;
+            }
+            if backlog > self.backlog_cap {
+                self.shed_total += (backlog - self.backlog_cap) / self.weights.len() as f64;
+                backlog = self.backlog_cap;
+            }
+            self.backlog[s] = backlog;
+            self.served_total += served / self.weights.len() as f64;
+            let util = if capacity > 0.0 {
+                Utilization((served_rate / capacity).clamp(0.0, 1.0))
+            } else {
+                Utilization::IDLE
+            };
+            out.push(InteractiveLoad {
+                util,
+                served,
+                offered,
+                backlog,
+            });
+        }
+        out
+    }
+
+    /// Fraction of arrived work served so far (quality-of-service proxy).
+    pub fn service_ratio(&self) -> f64 {
+        if self.arrived <= 0.0 {
+            1.0
+        } else {
+            (self.served_total / self.arrived).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Mean queued backlog across servers, peak-core-seconds per core.
+    pub fn mean_backlog(&self) -> f64 {
+        self.backlog.iter().sum::<f64>() / self.backlog.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tier(demand: f64, servers: usize) -> InteractiveTier {
+        let mut t = InteractiveTier::new(
+            Trace::constant(Seconds(1.0), demand, 1000),
+            servers,
+        );
+        t.weights = vec![1.0; servers]; // uniform for exactness in tests
+        t
+    }
+
+    #[test]
+    fn weights_mean_one_and_spread() {
+        let w = server_weights(16, 0.12);
+        assert_eq!(w.len(), 16);
+        let mean = w.iter().sum::<f64>() / 16.0;
+        assert!((mean - 1.0).abs() < 1e-12);
+        assert!(w.iter().cloned().fold(f64::NEG_INFINITY, f64::max) > 1.05);
+        assert!(w.iter().cloned().fold(f64::INFINITY, f64::min) < 0.95);
+    }
+
+    #[test]
+    fn underload_at_peak_gives_util_equal_demand() {
+        let mut tier = tier(0.6, 4);
+        let loads = tier.step(
+            Seconds(0.0),
+            Seconds(1.0),
+            &[NormFreq::PEAK; 4],
+            &[true; 4],
+        );
+        for l in loads {
+            assert!((l.util.0 - 0.6).abs() < 1e-9);
+            assert!((l.served - 0.6).abs() < 1e-9);
+            assert_eq!(l.backlog, 0.0);
+        }
+        assert!((tier.service_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slow_core_saturates_and_queues() {
+        let mut tier = tier(0.6, 1);
+        let loads = tier.step(Seconds(0.0), Seconds(1.0), &[NormFreq(0.4)], &[true]);
+        let l = loads[0];
+        // Demand 0.6 at capacity 0.4 → fully utilized, 0.2 queued.
+        assert_eq!(l.util, Utilization::FULL);
+        assert!((l.served - 0.4).abs() < 1e-9);
+        assert!((l.backlog - 0.2).abs() < 1e-9);
+        assert!(tier.service_ratio() < 1.0);
+    }
+
+    #[test]
+    fn backlog_drains_when_capacity_returns() {
+        let mut tier = tier(0.5, 1);
+        tier.step(Seconds(0.0), Seconds(1.0), &[NormFreq(0.2)], &[true]);
+        assert!(tier.mean_backlog() > 0.0);
+        // Plenty of capacity now: backlog drains and util reflects the
+        // extra work being chewed through.
+        let loads = tier.step(Seconds(1.0), Seconds(1.0), &[NormFreq::PEAK], &[true]);
+        assert!(loads[0].served > 0.5);
+        assert_eq!(tier.mean_backlog(), 0.0);
+    }
+
+    #[test]
+    fn backlog_cap_sheds_load() {
+        let mut tier = tier(0.9, 1);
+        for k in 0..200 {
+            tier.step(Seconds(k as f64), Seconds(1.0), &[NormFreq(0.2)], &[true]);
+        }
+        assert!((tier.mean_backlog() - tier.backlog_cap).abs() < 1e-9);
+        assert!(tier.shed_total > 0.0);
+        // Conservation: arrived = served + shed + still-queued.
+        let accounted = tier.served_total + tier.shed_total + tier.mean_backlog();
+        assert!((tier.arrived - accounted).abs() < 1e-6);
+    }
+
+    #[test]
+    fn powered_off_server_serves_nothing() {
+        let mut tier = tier(0.7, 2);
+        let loads = tier.step(
+            Seconds(0.0),
+            Seconds(1.0),
+            &[NormFreq::PEAK, NormFreq::PEAK],
+            &[true, false],
+        );
+        assert!(loads[0].served > 0.0);
+        assert_eq!(loads[1].served, 0.0);
+        assert_eq!(loads[1].util, Utilization::IDLE);
+        assert!(tier.shed_total > 0.0);
+    }
+
+    #[test]
+    fn conservation_under_random_schedule() {
+        let mut tier = tier(0.8, 3);
+        let freqs = [0.3, 1.0, 0.55];
+        for k in 0..500 {
+            let fs: Vec<NormFreq> = (0..3)
+                .map(|s| NormFreq(freqs[(k + s) % 3]))
+                .collect();
+            tier.step(Seconds(k as f64), Seconds(1.0), &fs, &[true; 3]);
+        }
+        let accounted = tier.served_total + tier.shed_total + tier.mean_backlog();
+        assert!(
+            (tier.arrived - accounted).abs() < 1e-6,
+            "arrived={} accounted={}",
+            tier.arrived,
+            accounted
+        );
+    }
+}

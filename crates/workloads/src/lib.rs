@@ -1,0 +1,38 @@
+//! # workloads — interactive and batch workload models
+//!
+//! Substitutes for the paper's proprietary inputs (Wikipedia traces, SPEC
+//! CPU2006 binaries) built so the controllers see the same signals:
+//!
+//! * [`trace`] — fixed-rate time series and sliding windows.
+//! * [`wiki_trace`] — synthetic Wikipedia-like interactive demand
+//!   (diurnal envelope + burst + autocorrelated wobble + spikes).
+//! * [`interactive`] — the interactive tier: demand → utilization and
+//!   queueing given per-server frequencies.
+//! * [`mmpp`] — Markov-modulated demand (regime-switching flash crowds).
+//! * [`spec_profiles`] — SPEC-CPU2006-like counter signatures, plus the
+//!   six sprinting workloads of Fig. 1.
+//! * [`progress_model`] — CoScale-style frequency → execution-rate model.
+//! * [`batch`] — deadline-carrying batch jobs with the paper's `R_ij`
+//!   control weights.
+//!
+//! Everything is deterministic under an explicit seed.
+
+#![forbid(unsafe_code)]
+
+pub mod batch;
+pub mod interactive;
+pub mod mmpp;
+pub mod progress_model;
+pub mod spec_profiles;
+pub mod trace;
+pub mod trace_io;
+pub mod wiki_trace;
+
+pub use batch::{sized_for_deadline, BatchJob};
+pub use interactive::{InteractiveLoad, InteractiveTier};
+pub use mmpp::{DemandState, MmppConfig};
+pub use progress_model::ProgressModel;
+pub use spec_profiles::{cfp2006, cint2006, paper_batch_mix, sprint_six, BenchProfile};
+pub use trace::{SlidingWindow, Trace};
+pub use trace_io::{read_trace, read_trace_file, write_trace_file, TraceIoError};
+pub use wiki_trace::WikiTraceConfig;

@@ -1,0 +1,174 @@
+//! Markov-modulated demand generator — a second, spikier interactive
+//! workload class.
+//!
+//! The Wikipedia-like generator ([`crate::wiki_trace`]) produces smooth
+//! diurnal + burst traffic. Real interactive tiers also see *regime
+//! switching*: flash crowds, retry storms, upstream failovers — demand
+//! that jumps between discrete levels with exponentially-distributed
+//! holding times. A Markov-modulated process captures that: a small
+//! continuous-time Markov chain over demand states, with AR(1) wobble
+//! inside each state. SprintCon's UPS controller and allocator must ride
+//! these regime switches; the robustness tests drive them with this
+//! generator.
+
+use crate::trace::Trace;
+use powersim::noise::NoiseSource;
+use powersim::units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// One demand regime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DemandState {
+    /// Demand level in `[0, 1]` (peak-core units per interactive core).
+    pub level: f64,
+    /// Mean holding time in this state, seconds.
+    pub mean_dwell_s: f64,
+}
+
+/// Markov-modulated demand process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MmppConfig {
+    pub duration: Seconds,
+    pub dt: Seconds,
+    /// The regimes; transitions pick a uniformly random *other* state.
+    pub states: Vec<DemandState>,
+    /// Within-state AR(1) wobble amplitude.
+    pub wobble_sigma: f64,
+    /// Wobble correlation time, seconds.
+    pub wobble_tau: f64,
+}
+
+impl MmppConfig {
+    /// A spiky three-regime tier: calm → busy → flash-crowd.
+    pub fn spiky_default() -> Self {
+        MmppConfig {
+            duration: Seconds::minutes(15.0),
+            dt: Seconds(1.0),
+            states: vec![
+                DemandState { level: 0.35, mean_dwell_s: 90.0 },
+                DemandState { level: 0.60, mean_dwell_s: 120.0 },
+                DemandState { level: 0.85, mean_dwell_s: 40.0 },
+            ],
+            wobble_sigma: 0.05,
+            wobble_tau: 10.0,
+        }
+    }
+
+    /// Generate the demand trace.
+    pub fn generate(&self, seed: u64) -> Trace {
+        assert!(
+            self.states.len() >= 2,
+            "regime switching needs at least two states"
+        );
+        assert!(self
+            .states
+            .iter()
+            .all(|s| (0.0..=1.0).contains(&s.level) && s.mean_dwell_s > 0.0));
+        let n = (self.duration.0 / self.dt.0).round() as usize;
+        let mut noise = NoiseSource::new(seed);
+        let mut state = 0usize;
+        let mut dwell_left = sample_exp(&mut noise, self.states[state].mean_dwell_s);
+        let alpha = (-self.dt.0 / self.wobble_tau.max(1e-9)).exp();
+        let drive = self.wobble_sigma * (1.0 - alpha * alpha).sqrt();
+        let mut wobble = 0.0;
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            dwell_left -= self.dt.0;
+            if dwell_left <= 0.0 {
+                // Jump to a uniformly random other state.
+                let mut next = (noise.uniform() * (self.states.len() - 1) as f64) as usize;
+                if next >= state {
+                    next += 1;
+                }
+                state = next.min(self.states.len() - 1);
+                dwell_left = sample_exp(&mut noise, self.states[state].mean_dwell_s);
+            }
+            wobble = alpha * wobble + drive * noise.gaussian();
+            values.push((self.states[state].level + wobble).clamp(0.0, 1.0));
+        }
+        Trace::new(self.dt, values)
+    }
+}
+
+fn sample_exp(noise: &mut NoiseSource, mean: f64) -> f64 {
+    let u = noise.uniform().max(1e-12);
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MmppConfig {
+        MmppConfig::spiky_default()
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        assert_eq!(cfg().generate(3), cfg().generate(3));
+        assert_ne!(cfg().generate(3), cfg().generate(4));
+    }
+
+    #[test]
+    fn values_stay_in_range() {
+        let t = cfg().generate(1);
+        assert_eq!(t.len(), 900);
+        assert!(t.min() >= 0.0 && t.max() <= 1.0);
+    }
+
+    #[test]
+    fn visits_multiple_regimes() {
+        let t = cfg().generate(7);
+        // The trace must spend time near each configured level.
+        for s in &cfg().states {
+            let near = t
+                .values
+                .iter()
+                .filter(|&&v| (v - s.level).abs() < 0.12)
+                .count();
+            assert!(
+                near > 20,
+                "regime at {} barely visited ({near} samples)",
+                s.level
+            );
+        }
+    }
+
+    #[test]
+    fn switches_are_abrupt_compared_to_wiki_wobble() {
+        // Regime switches create jumps the smooth generator never makes.
+        let t = cfg().generate(11);
+        let max_jump = t
+            .values
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .fold(0.0_f64, f64::max);
+        assert!(max_jump > 0.15, "max jump {max_jump}");
+    }
+
+    #[test]
+    fn dwell_times_scale_with_configuration() {
+        // Long-dwell states dominate occupancy.
+        let mut c = cfg();
+        c.states = vec![
+            DemandState { level: 0.2, mean_dwell_s: 500.0 },
+            DemandState { level: 0.9, mean_dwell_s: 10.0 },
+        ];
+        c.wobble_sigma = 0.0;
+        let t = c.generate(5);
+        let low = t.values.iter().filter(|&&v| v < 0.5).count();
+        assert!(
+            low > t.len() * 2 / 3,
+            "long-dwell regime should dominate: {low}/{}",
+            t.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two states")]
+    fn rejects_single_state() {
+        let mut c = cfg();
+        c.states.truncate(1);
+        c.generate(1);
+    }
+}

@@ -1,0 +1,172 @@
+//! Synthetic stand-ins for the paper's benchmark suites.
+//!
+//! §VI-A runs SPEC CPU2006: CINT 400.perlbench / 401.bzip2 / 403.gcc /
+//! 429.mcf on one server, CFP 433.milc / 444.namd / 447.dealII /
+//! 450.soplex on the other. SPEC binaries are licensed, so we substitute
+//! profiles whose *performance-counter signatures* (core CPI, cache misses
+//! per instruction) span the published behaviour of those benchmarks —
+//! mcf/milc notoriously memory-bound, namd/perlbench compute-bound. The
+//! controller only ever consumes these counters through
+//! [`ProgressModel`], so matching the signature matches the behaviour.
+//!
+//! Fig. 1's six sprinting workloads (from the mobile testbed of [4]:
+//! sobel, disparity, segment, kmeans, texture, feature) are modelled the
+//! same way for the motivation experiment.
+
+use crate::progress_model::ProgressModel;
+use serde::{Deserialize, Serialize};
+
+/// A synthetic benchmark profile: the counter signature the paper's
+/// short-term profiling would collect, plus a nominal job size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchProfile {
+    /// Display name, e.g. `"429.mcf"`.
+    pub name: &'static str,
+    /// Cycles per instruction when not stalled on memory.
+    pub cpi_core: f64,
+    /// Last-level-cache misses per instruction.
+    pub miss_per_instr: f64,
+    /// Miss penalty in core cycles at peak frequency.
+    pub miss_latency_cycles: f64,
+    /// Nominal single-run execution time at peak frequency, seconds.
+    /// (SPEC ref runs are minutes-long; §VI-A repeats them to fill the
+    /// 15-minute trace.)
+    pub nominal_runtime_s: f64,
+}
+
+impl BenchProfile {
+    /// The derived frequency-scaling model.
+    pub fn progress_model(&self) -> ProgressModel {
+        ProgressModel::from_counters(self.cpi_core, self.miss_per_instr, self.miss_latency_cycles)
+    }
+
+    /// Memory-bound fraction (at peak frequency) of this profile.
+    pub fn memory_bound(&self) -> f64 {
+        self.progress_model().memory_bound
+    }
+}
+
+const fn p(
+    name: &'static str,
+    cpi_core: f64,
+    miss_per_instr: f64,
+    miss_latency_cycles: f64,
+    nominal_runtime_s: f64,
+) -> BenchProfile {
+    BenchProfile {
+        name,
+        cpi_core,
+        miss_per_instr,
+        miss_latency_cycles,
+        nominal_runtime_s,
+    }
+}
+
+/// The four CINT2006 stand-ins run on the first server (§VI-A).
+pub fn cint2006() -> Vec<BenchProfile> {
+    vec![
+        // perlbench: branchy interpreter, cache-friendly.
+        p("400.perlbench", 0.95, 0.0006, 180.0, 420.0),
+        // bzip2: compression, moderate locality.
+        p("401.bzip2", 0.85, 0.0011, 180.0, 380.0),
+        // gcc: pointer-chasing compiler, mixed.
+        p("403.gcc", 1.00, 0.0022, 180.0, 340.0),
+        // mcf: network simplex, famously memory-bound.
+        p("429.mcf", 0.75, 0.0052, 190.0, 460.0),
+    ]
+}
+
+/// The four CFP2006 stand-ins run on the second server (§VI-A).
+pub fn cfp2006() -> Vec<BenchProfile> {
+    vec![
+        // milc: lattice QCD, streaming memory-bound.
+        p("433.milc", 0.80, 0.0040, 190.0, 430.0),
+        // namd: molecular dynamics, compute-dense.
+        p("444.namd", 0.90, 0.0004, 180.0, 400.0),
+        // dealII: finite elements, moderate.
+        p("447.dealII", 0.95, 0.0013, 180.0, 360.0),
+        // soplex: LP solver, memory-heavy.
+        p("450.soplex", 0.85, 0.0033, 190.0, 390.0),
+    ]
+}
+
+/// The paper's full batch mix: CINT on odd servers, CFP on even servers,
+/// one benchmark per batch core, cycled to cover `batch_cores_per_server`.
+pub fn paper_batch_mix(num_servers: usize, batch_cores_per_server: usize) -> Vec<Vec<BenchProfile>> {
+    let cint = cint2006();
+    let cfp = cfp2006();
+    (0..num_servers)
+        .map(|s| {
+            let suite = if s % 2 == 0 { &cint } else { &cfp };
+            (0..batch_cores_per_server)
+                .map(|c| suite[c % suite.len()].clone())
+                .collect()
+        })
+        .collect()
+}
+
+/// Fig. 1's six sprinting workloads from the testbed of [4], spanning the
+/// compute-bound → memory-bound range.
+pub fn sprint_six() -> Vec<BenchProfile> {
+    vec![
+        p("sobel", 0.90, 0.0008, 180.0, 20.0),
+        p("disparity", 0.85, 0.0024, 185.0, 25.0),
+        p("segment", 0.80, 0.0038, 190.0, 30.0),
+        p("kmeans", 0.85, 0.0030, 185.0, 22.0),
+        p("texture", 0.95, 0.0012, 180.0, 18.0),
+        p("feature", 0.90, 0.0018, 182.0, 24.0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_four_benchmarks_each() {
+        assert_eq!(cint2006().len(), 4);
+        assert_eq!(cfp2006().len(), 4);
+        assert_eq!(sprint_six().len(), 6);
+    }
+
+    #[test]
+    fn memory_boundedness_spans_a_wide_range() {
+        let all: Vec<BenchProfile> = cint2006().into_iter().chain(cfp2006()).collect();
+        let mbs: Vec<f64> = all.iter().map(|b| b.memory_bound()).collect();
+        let min = mbs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = mbs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        // perlbench/namd-like lows, mcf/milc-like highs.
+        assert!(min < 0.12, "min mb={min}");
+        assert!(max > 0.45, "max mb={max}");
+    }
+
+    #[test]
+    fn mcf_is_the_most_memory_bound_int() {
+        let cint = cint2006();
+        let mcf = cint.iter().find(|b| b.name == "429.mcf").unwrap();
+        for b in &cint {
+            assert!(b.memory_bound() <= mcf.memory_bound());
+        }
+    }
+
+    #[test]
+    fn paper_mix_alternates_suites() {
+        let mix = paper_batch_mix(16, 4);
+        assert_eq!(mix.len(), 16);
+        assert!(mix.iter().all(|s| s.len() == 4));
+        assert_eq!(mix[0][0].name, "400.perlbench");
+        assert_eq!(mix[1][0].name, "433.milc");
+        // Cycling covers more cores than the suite size.
+        let wide = paper_batch_mix(1, 6);
+        assert_eq!(wide[0][4].name, "400.perlbench");
+    }
+
+    #[test]
+    fn all_models_valid() {
+        for b in cint2006().iter().chain(&cfp2006()).chain(&sprint_six()) {
+            let m = b.progress_model();
+            assert!(m.memory_bound >= 0.0 && m.memory_bound < 1.0);
+            assert!(b.nominal_runtime_s > 0.0);
+        }
+    }
+}

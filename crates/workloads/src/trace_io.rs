@@ -1,0 +1,215 @@
+//! CSV import/export for demand traces.
+//!
+//! The generators in this crate are substitutes for the paper's
+//! proprietary Wikipedia traces (DESIGN.md §3); a user who *has* real
+//! request-rate data can feed it straight in. The format is
+//! deliberately minimal: one or two comma-separated columns, optional
+//! header, either `value` rows at a caller-given period or `t_s,value`
+//! rows from which the period is inferred.
+
+use crate::trace::Trace;
+use powersim::units::Seconds;
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// Errors from trace parsing.
+#[derive(Debug)]
+pub enum TraceIoError {
+    Io(std::io::Error),
+    /// Line number (1-based) and message.
+    Parse(usize, String),
+    Empty,
+    /// Timestamps are not uniformly spaced.
+    IrregularSampling { line: usize },
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "I/O error: {e}"),
+            TraceIoError::Parse(line, msg) => write!(f, "line {line}: {msg}"),
+            TraceIoError::Empty => write!(f, "trace file contains no samples"),
+            TraceIoError::IrregularSampling { line } => {
+                write!(f, "line {line}: timestamps are not uniformly spaced")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Parse a trace from a reader.
+///
+/// * one column → values sampled at `default_dt`;
+/// * two columns (`t_s,value`) → the sampling period is inferred from
+///   the first two rows and every subsequent row must stay on the grid
+///   (±1% of the period).
+///
+/// A non-numeric first line is treated as a header and skipped. Blank
+/// lines and `#` comments are ignored.
+pub fn read_trace<R: BufRead>(reader: R, default_dt: Seconds) -> Result<Trace, TraceIoError> {
+    assert!(default_dt.0 > 0.0);
+    let mut values = Vec::new();
+    let mut times: Vec<f64> = Vec::new();
+    let mut two_col = None;
+    for (i, line) in reader.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line?;
+        let body = line.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = body.split(',').map(str::trim).collect();
+        let parsed: Result<Vec<f64>, _> = cols.iter().map(|c| c.parse::<f64>()).collect();
+        let nums = match parsed {
+            Ok(n) => n,
+            Err(e) => {
+                if values.is_empty() && times.is_empty() {
+                    continue; // header line
+                }
+                return Err(TraceIoError::Parse(lineno, format!("{e}: {body:?}")));
+            }
+        };
+        match (two_col, nums.len()) {
+            (None, 1) => {
+                two_col = Some(false);
+                values.push(nums[0]);
+            }
+            (None, 2) => {
+                two_col = Some(true);
+                times.push(nums[0]);
+                values.push(nums[1]);
+            }
+            (Some(false), 1) => values.push(nums[0]),
+            (Some(true), 2) => {
+                times.push(nums[0]);
+                values.push(nums[1]);
+            }
+            (_, n) => {
+                return Err(TraceIoError::Parse(
+                    lineno,
+                    format!("expected a consistent 1- or 2-column layout, got {n} columns"),
+                ))
+            }
+        }
+    }
+    if values.is_empty() {
+        return Err(TraceIoError::Empty);
+    }
+    let dt = if two_col == Some(true) && times.len() >= 2 {
+        let dt = times[1] - times[0];
+        if dt <= 0.0 {
+            return Err(TraceIoError::Parse(2, "non-increasing timestamps".into()));
+        }
+        for (k, w) in times.windows(2).enumerate() {
+            let step = w[1] - w[0];
+            if (step - dt).abs() > dt * 0.01 {
+                return Err(TraceIoError::IrregularSampling { line: k + 2 });
+            }
+        }
+        Seconds(dt)
+    } else {
+        default_dt
+    };
+    Ok(Trace::new(dt, values))
+}
+
+/// Read a trace from a file path.
+pub fn read_trace_file(path: &Path, default_dt: Seconds) -> Result<Trace, TraceIoError> {
+    let f = std::fs::File::open(path)?;
+    read_trace(std::io::BufReader::new(f), default_dt)
+}
+
+/// Write a trace as two-column `t_s,value` CSV.
+pub fn write_trace_file(path: &Path, trace: &Trace) -> Result<(), TraceIoError> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(out, "t_s,value")?;
+    for (k, v) in trace.values.iter().enumerate() {
+        writeln!(out, "{:.3},{v:.6}", k as f64 * trace.dt.0)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn dt1() -> Seconds {
+        Seconds(1.0)
+    }
+
+    #[test]
+    fn single_column_uses_default_dt() {
+        let t = read_trace(Cursor::new("0.5\n0.6\n0.7\n"), Seconds(2.0)).unwrap();
+        assert_eq!(t.dt, Seconds(2.0));
+        assert_eq!(t.values, vec![0.5, 0.6, 0.7]);
+    }
+
+    #[test]
+    fn two_column_infers_period() {
+        let t = read_trace(Cursor::new("0,0.5\n5,0.6\n10,0.7\n"), dt1()).unwrap();
+        assert_eq!(t.dt, Seconds(5.0));
+        assert_eq!(t.values, vec![0.5, 0.6, 0.7]);
+    }
+
+    #[test]
+    fn header_comments_and_blanks_are_skipped() {
+        let src = "t_s,value\n# a comment\n\n0,0.1\n1,0.2 # trailing comment\n";
+        let t = read_trace(Cursor::new(src), dt1()).unwrap();
+        assert_eq!(t.values, vec![0.1, 0.2]);
+        assert_eq!(t.dt, Seconds(1.0));
+    }
+
+    #[test]
+    fn irregular_sampling_is_rejected() {
+        let err = read_trace(Cursor::new("0,1\n1,2\n3,3\n"), dt1()).unwrap_err();
+        assert!(matches!(err, TraceIoError::IrregularSampling { line: 3 }));
+    }
+
+    #[test]
+    fn garbage_mid_file_is_an_error_with_line_number() {
+        let err = read_trace(Cursor::new("1.0\npotato\n"), dt1()).unwrap_err();
+        match err {
+            TraceIoError::Parse(line, _) => assert_eq!(line, 2),
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn column_count_must_stay_consistent() {
+        let err = read_trace(Cursor::new("0,1\n2\n"), dt1()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Parse(2, _)));
+    }
+
+    #[test]
+    fn empty_file_is_an_error() {
+        assert!(matches!(
+            read_trace(Cursor::new("# nothing\n"), dt1()),
+            Err(TraceIoError::Empty)
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("sprintcon_trace_io");
+        let path = dir.join("t.csv");
+        let orig = Trace::new(Seconds(2.0), vec![0.25, 0.5, 0.75, 1.0]);
+        write_trace_file(&path, &orig).unwrap();
+        let back = read_trace_file(&path, Seconds(99.0)).unwrap();
+        assert_eq!(back.dt, orig.dt);
+        for (a, b) in back.values.iter().zip(&orig.values) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,213 @@
+//! Synthetic Wikipedia-like interactive load generator.
+//!
+//! The paper generates its interactive workload from Wikipedia data-center
+//! request traces [31]. Those traces are not redistributable, so we
+//! synthesize an arrival-rate process with the properties the controllers
+//! actually react to (documented in DESIGN.md §3):
+//!
+//! * a slow diurnal/half-hour drift (the trace window sits somewhere on
+//!   the daily curve),
+//! * a pronounced *burst* — the event-driven surge that motivates
+//!   sprinting — with a fast ramp, a plateau, and a decay,
+//! * autocorrelated second-scale fluctuation (users arrive in clumps, so
+//!   rack-level load "fluctuates dramatically and frequently", §IV-B), and
+//! * occasional short spikes.
+//!
+//! Output is a normalized demand trace in peak-core units per interactive
+//! core: `1.0` means the interactive tier needs every interactive core at
+//! peak frequency to keep up.
+
+use crate::trace::Trace;
+use powersim::noise::NoiseSource;
+use powersim::units::Seconds;
+use rand::Rng;
+
+/// Parameters of the synthetic interactive trace.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WikiTraceConfig {
+    /// Trace duration.
+    pub duration: Seconds,
+    /// Sampling period.
+    pub dt: Seconds,
+    /// Baseline demand before the burst, in `[0, 1]`.
+    pub base_level: f64,
+    /// Demand plateau during the burst, in `[0, 1]`.
+    pub burst_level: f64,
+    /// When the burst begins.
+    pub burst_start: Seconds,
+    /// Ramp-up time from base to plateau.
+    pub ramp: Seconds,
+    /// How long the plateau lasts (the `T_burst` of §IV-A).
+    pub burst_duration: Seconds,
+    /// Standard deviation of the autocorrelated fluctuation.
+    pub wobble_sigma: f64,
+    /// Correlation time of the fluctuation, seconds.
+    pub wobble_tau: f64,
+    /// Expected number of short spikes over the whole trace.
+    pub spikes: f64,
+    /// Spike amplitude added on top of the local level.
+    pub spike_amp: f64,
+}
+
+impl WikiTraceConfig {
+    /// The evaluation scenario: 15-minute window that is bursty from the
+    /// start (the paper sprints for the full window), moderate baseline,
+    /// high plateau with visible fluctuation.
+    pub fn paper_default() -> Self {
+        WikiTraceConfig {
+            duration: Seconds::minutes(15.0),
+            dt: Seconds(1.0),
+            base_level: 0.38,
+            burst_level: 0.60,
+            burst_start: Seconds(0.0),
+            ramp: Seconds(30.0),
+            burst_duration: Seconds::minutes(15.0),
+            wobble_sigma: 0.09,
+            wobble_tau: 20.0,
+            spikes: 6.0,
+            spike_amp: 0.15,
+        }
+    }
+
+    /// Deterministic envelope (no noise): base → ramp → plateau → decay.
+    pub fn envelope_at(&self, t: Seconds) -> f64 {
+        let t = t.0;
+        let start = self.burst_start.0;
+        let ramp_end = start + self.ramp.0;
+        let plateau_end = start + self.burst_duration.0;
+        let decay_end = plateau_end + self.ramp.0;
+        if t < start {
+            self.base_level
+        } else if t < ramp_end {
+            let x = (t - start) / self.ramp.0.max(1e-9);
+            // Smoothstep ramp: workload surges are fast but not square.
+            let s = x * x * (3.0 - 2.0 * x);
+            self.base_level + (self.burst_level - self.base_level) * s
+        } else if t < plateau_end {
+            self.burst_level
+        } else if t < decay_end {
+            let x = (t - plateau_end) / self.ramp.0.max(1e-9);
+            let s = 1.0 - x * x * (3.0 - 2.0 * x);
+            self.base_level + (self.burst_level - self.base_level) * s
+        } else {
+            self.base_level
+        }
+    }
+
+    /// Generate the demand trace with the given seed.
+    pub fn generate(&self, seed: u64) -> Trace {
+        let n = (self.duration.0 / self.dt.0).round() as usize;
+        assert!(n > 0, "trace must contain at least one sample");
+        let mut noise = NoiseSource::new(seed);
+        // AR(1) wobble with the requested sigma and correlation time.
+        let alpha = (-self.dt.0 / self.wobble_tau.max(1e-9)).exp();
+        let drive = self.wobble_sigma * (1.0 - alpha * alpha).sqrt();
+        let mut wobble = 0.0;
+        // Pre-draw spike times (Poisson-ish: uniform positions).
+        let n_spikes = self.spikes.round() as usize;
+        let mut spike_at: Vec<usize> = (0..n_spikes)
+            .map(|_| (noise.uniform() * n as f64) as usize)
+            .collect();
+        spike_at.sort_unstable();
+        let spike_width = (8.0 / self.dt.0).ceil() as usize;
+
+        let mut values = Vec::with_capacity(n);
+        for k in 0..n {
+            let t = Seconds(k as f64 * self.dt.0);
+            wobble = alpha * wobble + drive * noise.gaussian();
+            let mut v = self.envelope_at(t) + wobble;
+            for &s in &spike_at {
+                if k >= s && k < s + spike_width {
+                    let x = (k - s) as f64 / spike_width as f64;
+                    v += self.spike_amp * (1.0 - x);
+                }
+            }
+            values.push(v.clamp(0.0, 1.0));
+        }
+        Trace::new(self.dt, values)
+    }
+
+    /// Generate using an external `rand` RNG for the seed, convenient for
+    /// callers already holding one.
+    pub fn generate_with<R: Rng>(&self, rng: &mut R) -> Trace {
+        self.generate(rng.random::<u64>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> WikiTraceConfig {
+        WikiTraceConfig::paper_default()
+    }
+
+    #[test]
+    fn trace_has_expected_shape() {
+        let tr = cfg().generate(1);
+        assert_eq!(tr.len(), 900);
+        assert_eq!(tr.dt, Seconds(1.0));
+        // All samples in the valid range.
+        assert!(tr.min() >= 0.0 && tr.max() <= 1.0);
+        // Mean near the plateau (the paper scenario bursts from t=0).
+        let m = tr.mean();
+        assert!((0.5..0.75).contains(&m), "mean={m}");
+    }
+
+    #[test]
+    fn determinism_and_seed_sensitivity() {
+        let a = cfg().generate(7);
+        let b = cfg().generate(7);
+        let c = cfg().generate(8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn envelope_ramps_then_plateaus() {
+        let mut c = cfg();
+        c.burst_start = Seconds(100.0);
+        c.ramp = Seconds(50.0);
+        c.burst_duration = Seconds(300.0);
+        assert!((c.envelope_at(Seconds(0.0)) - c.base_level).abs() < 1e-12);
+        assert!((c.envelope_at(Seconds(125.0)) - (c.base_level + c.burst_level) / 2.0).abs() < 1e-9);
+        assert!((c.envelope_at(Seconds(200.0)) - c.burst_level).abs() < 1e-12);
+        // After decay, back at base.
+        assert!((c.envelope_at(Seconds(500.0)) - c.base_level).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fluctuation_is_really_there() {
+        // §IV-B leans on interactive load fluctuating "dramatically and
+        // frequently": the plateau samples must not be flat.
+        let tr = cfg().generate(3);
+        let plateau: Vec<f64> = tr.values[60..840].to_vec();
+        let mean = plateau.iter().sum::<f64>() / plateau.len() as f64;
+        let sd =
+            (plateau.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / plateau.len() as f64).sqrt();
+        assert!(sd > 0.04, "plateau too flat: sd={sd}");
+    }
+
+    #[test]
+    fn fluctuation_is_autocorrelated() {
+        let tr = cfg().generate(5);
+        let v = &tr.values;
+        let n = v.len() - 1;
+        let mean = tr.mean();
+        let var: f64 = v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / v.len() as f64;
+        let lag1: f64 = (0..n).map(|i| (v[i] - mean) * (v[i + 1] - mean)).sum::<f64>() / n as f64;
+        assert!(lag1 / var > 0.5, "lag-1 autocorrelation too low");
+    }
+
+    #[test]
+    fn spikes_raise_the_p99() {
+        let mut quiet = cfg();
+        quiet.spikes = 0.0;
+        quiet.wobble_sigma = 0.0;
+        let base = quiet.generate(9);
+        let mut spiky = quiet.clone();
+        spiky.spikes = 12.0;
+        let sp = spiky.generate(9);
+        assert!(sp.percentile(99.0) > base.percentile(99.0) + 0.05);
+    }
+}

@@ -1,0 +1,1 @@
+pub fn version() -> &'static str { env!("CARGO_PKG_VERSION") }

@@ -1,0 +1,169 @@
+//! Integration tests asserting the paper's qualitative results end to
+//! end across all crates (plant + workloads + controllers + engine).
+//!
+//! Full 15-minute, 16-server runs of the MPC-driven policy are exercised
+//! by the figure binaries in release mode (`cargo run -p sprintcon-bench
+//! --bin ...`); here the SprintCon runs use shortened windows or a scaled
+//! rack so the suite stays fast in debug.
+
+use powersim::units::Seconds;
+use simkit::{run_policy, PolicyKind, Scenario};
+
+/// Uncontrolled SGCT: the Fig. 5 failure sequence — trips inside the
+/// first overload window, drains the UPS carrying the rack, browns out
+/// for good mid-run.
+#[test]
+fn sgct_uncontrolled_trips_drains_and_dies() {
+    let scenario = Scenario::paper_default(2019);
+    let (rec, summary) = run_policy(&scenario, PolicyKind::Sgct);
+    assert!(summary.trips >= 1);
+    let first_trip = rec.samples().iter().position(|s| s.tripped).unwrap();
+    assert!(first_trip <= 150, "tripped at {first_trip}s");
+    // After the trip the breaker is open and the UPS carries everything.
+    let after = &rec.samples()[first_trip + 1];
+    assert_eq!(after.cb_power.0, 0.0);
+    assert!(after.ups_power.0 > 3000.0);
+    // Eventually: blackout, frequencies to zero (Fig. 5(b)).
+    assert!(summary.shutdown);
+    let down_min = summary.shutdown_at.unwrap().as_minutes();
+    assert!((8.0..=13.0).contains(&down_min), "down at {down_min} min");
+    let last = rec.samples().last().unwrap();
+    assert_eq!(last.mean_freq_interactive, 0.0);
+    assert_eq!(last.mean_freq_batch, 0.0);
+    // And the interactive tier lost a visible chunk of its traffic.
+    assert!(summary.service_ratio < 0.9);
+}
+
+/// The idealized baselines keep their no-trip promise over the full run
+/// and land their characteristic frequency split (Fig. 7(b)(c)).
+#[test]
+fn ideal_baselines_never_trip_and_split_frequencies() {
+    let scenario = Scenario::paper_default(2019);
+    let (_, v1) = run_policy(&scenario, PolicyKind::SgctV1);
+    let (_, v2) = run_policy(&scenario, PolicyKind::SgctV2);
+    assert_eq!(v1.trips, 0);
+    assert_eq!(v2.trips, 0);
+    assert!(!v1.shutdown && !v2.shutdown);
+    // V1 (utilization ranking) favours batch; V2 flips it.
+    assert!(v1.avg_freq_batch > v1.avg_freq_interactive);
+    assert!(v2.avg_freq_interactive > v2.avg_freq_batch);
+    assert!(v2.avg_freq_interactive > v1.avg_freq_interactive);
+    // Both spend a similar, substantial amount of stored energy.
+    assert!((v1.ups_energy_wh - v2.ups_energy_wh).abs() < 30.0);
+    assert!(v1.ups_energy_wh > 80.0);
+}
+
+/// SprintCon on a shortened (4-minute) window covering one full
+/// overload + recovery cycle: interactive pinned at peak, CB within
+/// budget, no trips, batch frequency stepping with the phase.
+#[test]
+fn sprintcon_first_cycle_behaviour() {
+    let mut scenario = Scenario::paper_default(2019);
+    scenario.duration = Seconds::minutes(4.0);
+    let (rec, summary) = run_policy(&scenario, PolicyKind::SprintCon);
+    assert_eq!(summary.trips, 0);
+    assert!((summary.avg_freq_interactive - 1.0).abs() < 1e-9);
+    // Budget discipline: excursions above the published CB budget are
+    // rare one-period transients.
+    let above = rec
+        .samples()
+        .iter()
+        .filter(|s| s.cb_power.0 > s.p_cb_target.unwrap().0 + 60.0)
+        .count();
+    assert!(above * 100 < rec.len() * 5, "{above} excursions");
+    // Phase structure: batch faster during the first overload window
+    // than during the recovery that follows.
+    let fb: Vec<f64> = rec.samples().iter().map(|s| s.mean_freq_batch).collect();
+    let over: f64 = fb[30..145].iter().sum::<f64>() / 115.0;
+    let recov: f64 = fb[180..235].iter().sum::<f64>() / 55.0;
+    assert!(over > recov + 0.15, "overload {over:.2} vs recovery {recov:.2}");
+}
+
+/// The headline comparison on a scaled rack (8 servers, proportionally
+/// scaled breaker/UPS), full 15 minutes: SprintCon meets deadlines with
+/// far less stored energy than the ideal baselines and no trips.
+#[test]
+fn scaled_rack_headline_ordering() {
+    let mut scenario = Scenario::paper_default(2019);
+    scenario.num_servers = 8;
+    scenario.breaker = powersim::breaker::BreakerSpec::calibrated(
+        powersim::units::Watts(1600.0),
+        1.25,
+        Seconds(150.0),
+        Seconds(300.0),
+    );
+    scenario.ups = powersim::ups::UpsSpec {
+        capacity: powersim::units::WattHours(200.0),
+        max_discharge: powersim::units::Watts(2400.0),
+        ..powersim::ups::UpsSpec::paper_default()
+    };
+    // SprintCon needs a matching plant description.
+    let (_, sc) = {
+        let mut sim = scenario.build();
+        let mut cfg = sprintcon::SprintConConfig::paper_default();
+        cfg.num_servers = 8;
+        cfg.breaker = scenario.breaker;
+        cfg.ups = scenario.ups;
+        let mut policy = simkit::SprintConPolicy::new(cfg);
+        let rec = sim.run(&mut policy, scenario.duration);
+        let s = simkit::RunSummary::from_run("SprintCon", &sim, &rec);
+        (rec, s)
+    };
+    assert_eq!(sc.trips, 0, "no trips on the scaled rack");
+    assert_eq!(sc.deadlines_met, sc.deadlines_total);
+    assert!((sc.avg_freq_interactive - 1.0).abs() < 1e-9);
+    assert!(sc.dod < 0.5, "stored energy stays bounded: {}", sc.dod);
+}
+
+/// Determinism across the whole stack: identical seeds give identical
+/// runs, different seeds differ.
+#[test]
+fn end_to_end_determinism() {
+    let mut scenario = Scenario::paper_default(5);
+    scenario.duration = Seconds(90.0);
+    let (rec_a, sum_a) = run_policy(&scenario, PolicyKind::SgctV1);
+    let (rec_b, sum_b) = run_policy(&scenario, PolicyKind::SgctV1);
+    assert_eq!(rec_a.len(), rec_b.len());
+    for (a, b) in rec_a.samples().iter().zip(rec_b.samples()) {
+        assert_eq!(a.p_total, b.p_total);
+        assert_eq!(a.cb_power, b.cb_power);
+    }
+    assert_eq!(sum_a.ups_energy_wh, sum_b.ups_energy_wh);
+    let mut other = scenario.clone();
+    other.seed = 6;
+    let (rec_c, _) = run_policy(&other, PolicyKind::SgctV1);
+    assert!(rec_a
+        .samples()
+        .iter()
+        .zip(rec_c.samples())
+        .any(|(a, c)| a.p_total != c.p_total));
+}
+
+/// Energy conservation across the feed for a whole run: energy delivered
+/// to the rack equals CB energy plus UPS energy; UPS energy matches the
+/// battery's internal accounting (within discharge efficiency).
+#[test]
+fn run_level_energy_conservation() {
+    let mut scenario = Scenario::paper_default(11);
+    scenario.duration = Seconds::minutes(3.0);
+    let mut sim = scenario.build();
+    let mut policy = simkit::SgctSimPolicy::new(baselines::SgctVariant::V1Ideal);
+    let rec = sim.run(&mut policy, scenario.duration);
+    let dt = Seconds(1.0);
+    let served: f64 = rec
+        .samples()
+        .iter()
+        .map(|s| (s.cb_power + s.ups_power).over(dt).0)
+        .collect::<Vec<f64>>()
+        .iter()
+        .sum();
+    let demanded: f64 = rec
+        .samples()
+        .iter()
+        .map(|s| (s.p_total.over(dt).0 - s.shortfall.over(dt).0))
+        .sum();
+    assert!((served - demanded).abs() < 1.0, "served {served} vs demanded {demanded}");
+    let cells = sim.feed.ups.total_cell_energy_out.0;
+    let delivered = rec.ups_energy_wh();
+    assert!((delivered - cells * sim.feed.ups.spec.discharge_efficiency).abs() < 0.5);
+}

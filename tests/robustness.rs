@@ -1,0 +1,106 @@
+//! Robustness tests beyond the paper's nominal scenario: spikier
+//! workloads, different schedule shapes, degraded sensors.
+
+use powersim::units::{Seconds, Watts};
+use simkit::{run_policy, PolicyKind, RunSummary, Scenario, SprintConPolicy};
+use workloads::mmpp::MmppConfig;
+use workloads::trace::Trace;
+
+/// SprintCon rides Markov-modulated flash-crowd demand without tripping
+/// or draining the battery: the regime switches are exactly what the UPS
+/// controller's deadbeat law plus the allocator's headroom trim exist for.
+#[test]
+fn sprintcon_survives_regime_switching_demand() {
+    let mut scenario = Scenario::paper_default(2019);
+    let spiky = MmppConfig::spiky_default().generate(77);
+    // Swap in the spiky trace via a custom wiki config is not possible —
+    // inject directly through the built sim's tier.
+    let mut sim = scenario.build();
+    sim.tier.demand = spiky;
+    scenario.duration = Seconds::minutes(15.0);
+    let mut policy = SprintConPolicy::paper_default();
+    let rec = sim.run(&mut policy, scenario.duration);
+    let s = RunSummary::from_run("SprintCon/mmpp", &sim, &rec);
+    assert_eq!(s.trips, 0, "no trips under flash crowds");
+    assert!(!s.shutdown);
+    assert!(s.dod < 0.6, "battery must survive: DoD {}", s.dod);
+    assert!((s.avg_freq_interactive - 1.0).abs() < 1e-9);
+    assert!(s.service_ratio > 0.99, "interactive traffic fully served");
+}
+
+/// A 5-minute burst selects the *constant* overload schedule (§IV-A):
+/// the breaker is overloaded for the whole burst, then released, and the
+/// thermal budget is honored because the configured overload duration is
+/// validated against the trip curve... but a 300 s constant overload at
+/// 1.25× would trip a breaker whose curve allows only 150 s. SprintCon's
+/// supervisor catches this: the trip-margin monitor forces recovery
+/// before the trip (CbProtect), exactly the §IV-C escalation.
+#[test]
+fn constant_schedule_burst_is_protected_by_the_margin_monitor() {
+    let mut scenario = Scenario::paper_default(2019);
+    scenario.duration = Seconds::minutes(6.0);
+    let mut sim = scenario.build();
+    let mut cfg = sprintcon::SprintConConfig::paper_default();
+    cfg.t_burst = Seconds::minutes(5.0); // → ScheduleKind::Constant
+    let mut policy = simkit::SprintConPolicy::new(cfg);
+    let rec = sim.run(&mut policy, scenario.duration);
+    let s = RunSummary::from_run("SprintCon/constant", &sim, &rec);
+    assert_eq!(s.trips, 0, "margin monitor must prevent the trip");
+    assert!(!s.shutdown);
+    // The run must actually have entered protection (the mode label
+    // appears in the event log) — otherwise this test proves nothing.
+    let protected = rec
+        .events_where(|e| matches!(e, simkit::SimEvent::ModeChange("cb-protect")))
+        .count();
+    assert!(protected >= 1, "CbProtect must have engaged");
+    // And the breaker margin never reported beyond the stop threshold
+    // by more than one control period's heating.
+    for smp in rec.samples() {
+        assert!(smp.breaker_margin <= 0.99, "margin {}", smp.breaker_margin);
+    }
+}
+
+/// Ten times noisier power monitoring: SprintCon still never trips (the
+/// margins absorb it), at the cost of some extra UPS energy.
+#[test]
+fn sprintcon_tolerates_a_degraded_power_monitor() {
+    let mut scenario = Scenario::paper_default(2019);
+    scenario.monitor_rel_sigma = 0.05; // 5% relative noise
+    scenario.monitor_abs_sigma = 50.0;
+    scenario.duration = Seconds::minutes(8.0);
+    let (rec, s) = run_policy(&scenario, PolicyKind::SprintCon);
+    // The physical guarantee survives: the margins and the breaker's
+    // thermal inertia absorb the sensor noise — no trips, no blackout.
+    assert_eq!(s.trips, 0);
+    assert!(!s.shutdown);
+    assert!(s.dod < 0.6, "noise inflates UPS use but must stay bounded");
+    // Excursions beyond ~3σ of the noise stay rare.
+    let above = rec
+        .samples()
+        .iter()
+        .filter(|x| x.cb_power.0 > x.p_cb_target.unwrap_or(Watts(1e9)).0 + 600.0)
+        .count();
+    assert!(above * 50 < rec.len(), "gross excursions must be rare: {above}");
+}
+
+/// A flat (non-bursty) demand trace: the allocator gives batch the whole
+/// headroom and the UPS barely discharges.
+#[test]
+fn flat_demand_spends_almost_no_stored_energy() {
+    let mut scenario = Scenario::paper_default(2019);
+    scenario.duration = Seconds::minutes(6.0);
+    let mut sim = scenario.build();
+    sim.tier.demand = Trace::constant(Seconds(1.0), 0.35, 900);
+    let mut policy = SprintConPolicy::paper_default();
+    let rec = sim.run(&mut policy, scenario.duration);
+    let s = RunSummary::from_run("SprintCon/flat", &sim, &rec);
+    assert_eq!(s.trips, 0);
+    // Low, steady interactive power → batch soaks the headroom and the
+    // UPS mostly idles.
+    assert!(
+        s.ups_energy_wh < 25.0,
+        "flat demand should barely touch the UPS: {} Wh",
+        s.ups_energy_wh
+    );
+    assert!(s.avg_freq_batch > 0.5, "batch should enjoy the headroom");
+}
