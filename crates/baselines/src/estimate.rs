@@ -151,7 +151,11 @@ mod tests {
         let idle = est().estimate(&rk, &vec![NormFreq(0.2); n]);
         assert!((idle.0 - 4.0 * 150.0).abs() < 1e-9);
         // Full: exact.
-        for id in rk.cores_with_role(CoreRole::Interactive).into_iter().chain(rk.cores_with_role(CoreRole::Batch)) {
+        for id in rk
+            .cores_with_role(CoreRole::Interactive)
+            .into_iter()
+            .chain(rk.cores_with_role(CoreRole::Batch))
+        {
             rk.set_util(id, Utilization::FULL);
         }
         let full = est().estimate(&rk, &vec![NormFreq(1.0); n]);

@@ -212,14 +212,9 @@ mod tests {
         let rk = rack();
         let ranked = rank_cores(&rk, SprintRanking::ByUtilization);
         let e = est();
-        let a = cooperative_threshold(
-            &rk,
-            &ranked,
-            NormFreq(0.5),
-            Watts(10_000.0),
-            false,
-            &|f| e.estimate(&rk, f),
-        );
+        let a = cooperative_threshold(&rk, &ranked, NormFreq(0.5), Watts(10_000.0), false, &|f| {
+            e.estimate(&rk, f)
+        });
         assert_eq!(a.sprinted, 16);
         assert!(a.freqs.iter().all(|f| (f.0 - 1.0).abs() < 1e-12));
     }
@@ -230,7 +225,7 @@ mod tests {
         let ranked = rank_cores(&rk, SprintRanking::ByUtilization);
         let e = est();
         // Nominal config power + a bit: room for only a few sprints.
-        let nominal = e.estimate(&rk, &vec![NormFreq(0.5); 16]);
+        let nominal = e.estimate(&rk, &[NormFreq(0.5); 16]);
         let budget = Watts(nominal.0 + 40.0);
         let a = cooperative_threshold(&rk, &ranked, NormFreq(0.5), budget, false, &|f| {
             e.estimate(&rk, f)
@@ -250,7 +245,7 @@ mod tests {
     fn fractional_assignment_exhausts_the_budget_exactly() {
         let rk = rack();
         let ranked = rank_cores(&rk, SprintRanking::ByUtilization);
-        let nominal = crate::estimate::oracle_power(&rk, &vec![NormFreq(0.5); 16]);
+        let nominal = crate::estimate::oracle_power(&rk, &[NormFreq(0.5); 16]);
         let budget = Watts(nominal.0 + 55.0);
         let a = cooperative_threshold(&rk, &ranked, NormFreq(0.5), budget, true, &|f| {
             crate::estimate::oracle_power(&rk, f)

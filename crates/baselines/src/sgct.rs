@@ -148,24 +148,30 @@ impl SgctPolicy {
         let ranked = rank_cores(rack, ranking);
         let budget = match self.cfg.variant {
             SgctVariant::Uncontrolled => self.cfg.sprint_budget(),
-            SgctVariant::V1Ideal | SgctVariant::V2InteractivePriority => Watts(
-                (self.cfg.sprint_budget().0 * self.cfg.ideal_safety - p_overhead.0).max(0.0),
-            ),
+            SgctVariant::V1Ideal | SgctVariant::V2InteractivePriority => {
+                Watts((self.cfg.sprint_budget().0 * self.cfg.ideal_safety - p_overhead.0).max(0.0))
+            }
         };
-        let (fractional, power_of): (bool, Box<dyn Fn(&[NormFreq]) -> Watts>) =
-            match self.cfg.variant {
-                SgctVariant::Uncontrolled => {
-                    let est = self.cfg.estimator;
-                    let rk = rack.clone();
-                    (false, Box::new(move |f: &[NormFreq]| est.estimate(&rk, f)))
-                }
-                SgctVariant::V1Ideal | SgctVariant::V2InteractivePriority => {
-                    let rk = rack.clone();
-                    (true, Box::new(move |f: &[NormFreq]| oracle_power(&rk, f)))
-                }
-            };
-        let assignment =
-            cooperative_threshold(rack, &ranked, self.cfg.f_nom, budget, fractional, &*power_of);
+        type PowerFn = Box<dyn Fn(&[NormFreq]) -> Watts>;
+        let (fractional, power_of): (bool, PowerFn) = match self.cfg.variant {
+            SgctVariant::Uncontrolled => {
+                let est = self.cfg.estimator;
+                let rk = rack.clone();
+                (false, Box::new(move |f: &[NormFreq]| est.estimate(&rk, f)))
+            }
+            SgctVariant::V1Ideal | SgctVariant::V2InteractivePriority => {
+                let rk = rack.clone();
+                (true, Box::new(move |f: &[NormFreq]| oracle_power(&rk, f)))
+            }
+        };
+        let assignment = cooperative_threshold(
+            rack,
+            &ranked,
+            self.cfg.f_nom,
+            budget,
+            fractional,
+            &*power_of,
+        );
 
         // Power routing: overload phase → CB is the only sprint source;
         // recovery phase → CB at (just under) rated, UPS supplies the
@@ -284,12 +290,17 @@ mod tests {
     fn v1_sprints_batch_v2_sprints_interactive() {
         let rk = rack();
         let mut v1 = SgctPolicy::new(SgctConfig::paper_default(SgctVariant::V1Ideal));
-        let mut v2 = SgctPolicy::new(SgctConfig::paper_default(SgctVariant::V2InteractivePriority));
+        let mut v2 = SgctPolicy::new(SgctConfig::paper_default(
+            SgctVariant::V2InteractivePriority,
+        ));
         let c1 = v1.step(Seconds(1.0), &rk, Watts(4000.0), Watts::ZERO);
         let c2 = v2.step(Seconds(1.0), &rk, Watts(4000.0), Watts::ZERO);
         let mean = |cmd: &SgctCommand, role: CoreRole| -> f64 {
             let ids = rk.cores_with_role(role);
-            ids.iter().map(|id| cmd.freqs[id.server * 8 + id.core].0).sum::<f64>() / ids.len() as f64
+            ids.iter()
+                .map(|id| cmd.freqs[id.server * 8 + id.core].0)
+                .sum::<f64>()
+                / ids.len() as f64
         };
         // V1: batch outranks interactive (higher utilization).
         assert!(mean(&c1, CoreRole::Batch) > mean(&c1, CoreRole::Interactive) + 0.1);
@@ -323,7 +334,11 @@ mod tests {
         assert!(!c.overloading);
         // 4000 − 3200×0.99 = 832 (the ideal variants leave the breaker a
         // cooling margin during recovery).
-        assert!((c.ups_target.0 - 832.0).abs() < 1e-9, "ups={}", c.ups_target);
+        assert!(
+            (c.ups_target.0 - 832.0).abs() < 1e-9,
+            "ups={}",
+            c.ups_target
+        );
     }
 
     #[test]

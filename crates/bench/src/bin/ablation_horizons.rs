@@ -66,7 +66,10 @@ fn step_response(cfg: &SprintConConfig) -> (usize, f64) {
 fn main() {
     banner("Ablation A2 — τ_r / Lp / Lc sensitivity");
     let mut rows = Vec::new();
-    println!("{:>6} {:>4} {:>4} {:>12} {:>12}", "tau_r", "Lp", "Lc", "settle s", "overshoot W");
+    println!(
+        "{:>6} {:>4} {:>4} {:>12} {:>12}",
+        "tau_r", "Lp", "Lc", "settle s", "overshoot W"
+    );
     for (tau, lp, lc) in [
         (1.0, 8, 2),
         (2.0, 8, 2),
@@ -95,7 +98,10 @@ fn main() {
     // Eq.(7) intuition: larger τ_r → smaller overshoot, slower settling.
     let fast = &rows[0]; // tau 1
     let slow = &rows[4]; // tau 16
-    assert!(slow[4] <= fast[4] + 30.0, "larger tau must not overshoot more");
+    assert!(
+        slow[4] <= fast[4] + 30.0,
+        "larger tau must not overshoot more"
+    );
     assert!(slow[3] >= fast[3], "larger tau must not settle faster");
 
     banner("§V-C analysis: closed-loop pole, gain margin, timing contract");

@@ -19,8 +19,13 @@ fn main() {
     // Record the UPS discharge demand SprintCon actually produced over
     // the 15-minute run...
     let scenario = Scenario::paper_default(2019);
-    let (rec, _) = run_policy(&scenario, PolicyKind::SprintCon);
-    let demand: Vec<f64> = rec.samples().iter().map(|s| s.ups_power.0).collect();
+    let run = run_policy(&scenario, PolicyKind::SprintCon);
+    let demand: Vec<f64> = run
+        .recorder
+        .samples()
+        .iter()
+        .map(|s| s.ups_power.0)
+        .collect();
 
     // ...and replay it into both storage configurations.
     let mut plain = UpsBattery::full(UpsSpec::paper_default());
@@ -39,7 +44,9 @@ fn main() {
     println!("{:<22} {:>14} {:>10}", "storage", "battery Wh", "max DoD");
     println!(
         "{:<22} {:>14.1} {:>9.1}%",
-        "battery only", plain_throughput, plain.max_dod * 100.0
+        "battery only",
+        plain_throughput,
+        plain.max_dod * 100.0
     );
     println!(
         "{:<22} {:>14.1} {:>9.1}%   (+{:.1} Wh through the supercap)",

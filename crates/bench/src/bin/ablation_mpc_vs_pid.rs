@@ -16,7 +16,11 @@ use sprintcon::{ServerPowerController, SprintConConfig};
 use sprintcon_bench::{banner, write_csv};
 
 fn rack(cfg: &SprintConConfig) -> Rack {
-    let mut rk = Rack::homogeneous(cfg.server.clone(), cfg.num_servers, cfg.interactive_cores_per_server);
+    let mut rk = Rack::homogeneous(
+        cfg.server.clone(),
+        cfg.num_servers,
+        cfg.interactive_cores_per_server,
+    );
     for id in rk.cores_with_role(CoreRole::Interactive) {
         rk.set_util(id, Utilization(0.6));
     }
@@ -94,13 +98,13 @@ fn main() {
         period: 1.0,
     });
     let mut pid_err = Vec::new();
-    for t in 0..horizon {
+    for (t, row) in rows.iter_mut().enumerate().take(horizon) {
         let target = budget(t, lo, hi);
         let p_fb = ctrl2.feedback_power(rk.power(), &utils);
         let f = pid.step(target, p_fb.0);
         rk.set_role_freq(CoreRole::Batch, NormFreq(f));
         pid_err.push(p_fb.0 - target);
-        rows[t][3] = p_fb.0;
+        row[3] = p_fb.0;
     }
 
     let path = write_csv(
@@ -139,7 +143,10 @@ fn main() {
     };
     let (m_rms, p_rms) = (settled_rms(&mpc_err), settled_rms(&pid_err));
     let (m_set, p_set) = (settle(&mpc_err), settle(&pid_err));
-    println!("\n{:<6} {:>14} {:>16}", "ctrl", "settled RMS W", "worst settle s");
+    println!(
+        "\n{:<6} {:>14} {:>16}",
+        "ctrl", "settled RMS W", "worst settle s"
+    );
     println!("{:<6} {:>14.1} {:>16}", "MPC", m_rms, m_set);
     println!("{:<6} {:>14.1} {:>16}", "PID", p_rms, p_set);
     println!("\nMPC additionally allocates per-core by progress weights (see ablation_rweights);");

@@ -89,7 +89,10 @@ fn run(cfg: &SprintConConfig, use_weights: bool) -> (usize, f64, f64) {
         .iter()
         .map(|j| j.progress())
         .fold(f64::NEG_INFINITY, f64::max)
-        - jobs.iter().map(|j| j.progress()).fold(f64::INFINITY, f64::min);
+        - jobs
+            .iter()
+            .map(|j| j.progress())
+            .fold(f64::INFINITY, f64::min);
     (met, min_lag, spread)
 }
 
@@ -102,8 +105,14 @@ fn main() {
         "{:<10} {:>14} {:>22} {:>16}",
         "weights", "deadlines met", "laggard min progress", "progress spread"
     );
-    println!("{:<10} {:>11}/64 {:>22.3} {:>16.3}", "on", met_on, lag_on, spread_on);
-    println!("{:<10} {:>11}/64 {:>22.3} {:>16.3}", "off", met_off, lag_off, spread_off);
+    println!(
+        "{:<10} {:>11}/64 {:>22.3} {:>16.3}",
+        "on", met_on, lag_on, spread_on
+    );
+    println!(
+        "{:<10} {:>11}/64 {:>22.3} {:>16.3}",
+        "off", met_off, lag_off, spread_off
+    );
     let path = write_csv(
         "ablation_rweights.csv",
         "weights_on,deadlines_met,laggard_min_progress,progress_spread",

@@ -36,8 +36,8 @@ fn run(mut ctrl: UpsPowerController, seed: u64) -> Outcome {
         // noise on top.
         wobble = 0.95 * wobble + 30.0 * noise.gaussian();
         let step_up = if k % 300 == 120 { 250.0 } else { 0.0 };
-        let p_true = (3600.0 + 200.0 * ((k as f64) * 0.01).sin() + wobble + step_up)
-            .clamp(3000.0, 4400.0);
+        let p_true =
+            (3600.0 + 200.0 * ((k as f64) * 0.01).sin() + wobble + step_up).clamp(3000.0, 4400.0);
         let measured = p_true + 25.0 * noise.gaussian();
         // One-period delay like the engine: act on the previous sample.
         let cmd = ctrl.control(Watts(p_prev), target);
@@ -80,7 +80,12 @@ fn main() {
         "variant,duty_travel,overshoot_heat,trips",
         &[
             vec![0.0, raw.duty_travel, raw.overshoot_heat, raw.trips as f64],
-            vec![1.0, filt.duty_travel, filt.overshoot_heat, filt.trips as f64],
+            vec![
+                1.0,
+                filt.duty_travel,
+                filt.overshoot_heat,
+                filt.trips as f64,
+            ],
         ],
     );
 

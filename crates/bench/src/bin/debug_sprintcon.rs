@@ -9,9 +9,13 @@ fn main() {
         scenario = scenario.with_deadline(powersim::units::Seconds::minutes(d));
     }
     let mut sim = scenario.build();
-    let which = std::env::args().nth(1).unwrap_or_else(|| "sprintcon".into());
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "sprintcon".into());
     let mut policy: Box<dyn Policy> = match which.as_str() {
-        "sgct" => Box::new(simkit::SgctSimPolicy::new(baselines::SgctVariant::Uncontrolled)),
+        "sgct" => Box::new(simkit::SgctSimPolicy::new(
+            baselines::SgctVariant::Uncontrolled,
+        )),
         "v1" => Box::new(simkit::SgctSimPolicy::new(baselines::SgctVariant::V1Ideal)),
         "v2" => Box::new(simkit::SgctSimPolicy::new(
             baselines::SgctVariant::V2InteractivePriority,
@@ -68,5 +72,9 @@ fn main() {
     }
     let ids = sim.rack.cores_with_role(CoreRole::Batch);
     let fs: Vec<f64> = ids.iter().map(|id| sim.rack.freq(*id).0).collect();
-    println!("final batch freqs: min={:.2} max={:.2}", fs.iter().cloned().fold(1e9, f64::min), fs.iter().cloned().fold(-1e9, f64::max));
+    println!(
+        "final batch freqs: min={:.2} max={:.2}",
+        fs.iter().cloned().fold(1e9, f64::min),
+        fs.iter().cloned().fold(-1e9, f64::max)
+    );
 }

@@ -63,7 +63,11 @@ fn main() {
             prof.name,
             first,
             last,
-            if last < first { "decreasing, as Fig. 1" } else { "NOT decreasing" }
+            if last < first {
+                "decreasing, as Fig. 1"
+            } else {
+                "NOT decreasing"
+            }
         );
     }
     assert!(all_decreasing, "Fig. 1 shape violated");

@@ -10,7 +10,10 @@ use sprintcon_bench::{banner, write_csv};
 fn main() {
     banner("Fig. 2 — circuit breaker trip-time curve");
     let spec = BreakerSpec::paper_default();
-    println!("rated: {}   trip heat budget: {:.2}", spec.rated, spec.trip_heat);
+    println!(
+        "rated: {}   trip heat budget: {:.2}",
+        spec.rated, spec.trip_heat
+    );
     println!("{:>9} {:>12}", "overload", "trip time s");
     let mut rows = Vec::new();
     let overloads = [
@@ -25,7 +28,10 @@ fn main() {
     println!("\ncsv: {}", path.display());
 
     // Shape checks matching the figure.
-    assert!((spec.trip_time(1.25).0 - 150.0).abs() < 1e-6, "calibration point");
+    assert!(
+        (spec.trip_time(1.25).0 - 150.0).abs() < 1e-6,
+        "calibration point"
+    );
     for w in rows.windows(2) {
         assert!(w[1][1] < w[0][1], "must be strictly decreasing");
     }
@@ -33,5 +39,8 @@ fn main() {
     let d_low = spec.trip_time(1.05).0 - spec.trip_time(1.25).0;
     let d_high = spec.trip_time(3.0).0 - spec.trip_time(6.0).0;
     assert!(d_low > 50.0 * d_high);
-    println!("recovery from near-trip: {}", spec.recovery_time_from(spec.trip_heat));
+    println!(
+        "recovery from near-trip: {}",
+        spec.recovery_time_from(spec.trip_heat)
+    );
 }

@@ -33,7 +33,11 @@ fn main() {
     let mut series = Vec::new();
     for t in 0..120 {
         let phase = (t as f64) % period_s;
-        let f = if phase < sprint_s { NormFreq::PEAK } else { NormFreq(0.3) };
+        let f = if phase < sprint_s {
+            NormFreq::PEAK
+        } else {
+            NormFreq(0.3)
+        };
         for ci in 0..server.cores.len() {
             server.set_core_freq(ci, f);
         }

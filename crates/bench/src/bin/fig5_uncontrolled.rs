@@ -14,7 +14,8 @@ use sprintcon_bench::{banner, write_csv};
 fn main() {
     banner("Fig. 5 — uncontrolled sprinting (SGCT): power and frequency curves");
     let scenario = Scenario::paper_default(2019);
-    let (rec, summary) = run_policy(&scenario, PolicyKind::Sgct);
+    let run = run_policy(&scenario, PolicyKind::Sgct);
+    let (rec, summary) = (&run.recorder, &run.summary);
 
     let cb: Vec<f64> = rec.samples().iter().map(|s| s.cb_power.0).collect();
     let total: Vec<f64> = rec.samples().iter().map(|s| s.p_total.0).collect();
@@ -28,12 +29,21 @@ fn main() {
         "{}",
         multi_chart(
             "Fig.5(a) power (W)",
-            &[("CB actual", &cb), ("Total", &total), ("UPS", &ups), ("CB budget", &budget)],
+            &[
+                ("CB actual", &cb),
+                ("Total", &total),
+                ("UPS", &ups),
+                ("CB budget", &budget)
+            ],
             76,
             12,
         )
     );
-    let fi: Vec<f64> = rec.samples().iter().map(|s| s.mean_freq_interactive).collect();
+    let fi: Vec<f64> = rec
+        .samples()
+        .iter()
+        .map(|s| s.mean_freq_interactive)
+        .collect();
     let fb: Vec<f64> = rec.samples().iter().map(|s| s.mean_freq_batch).collect();
     println!(
         "{}",

@@ -19,7 +19,8 @@ fn main() {
         ("c-sgct-v2", PolicyKind::SgctV2),
     ] {
         banner(&format!("Fig. 6({}) — {}", &tag[..1], kind.name()));
-        let (rec, summary) = run_policy(&scenario, kind);
+        let run = run_policy(&scenario, kind);
+        let (rec, summary) = (&run.recorder, &run.summary);
         let cb: Vec<f64> = rec.samples().iter().map(|s| s.cb_power.0).collect();
         let total: Vec<f64> = rec.samples().iter().map(|s| s.p_total.0).collect();
         let budget: Vec<f64> = rec
@@ -31,7 +32,11 @@ fn main() {
             "{}",
             multi_chart(
                 &format!("{} power (W)", kind.name()),
-                &[("CB actual", &cb), ("Total", &total), ("CB budget", &budget)],
+                &[
+                    ("CB actual", &cb),
+                    ("Total", &total),
+                    ("CB budget", &budget)
+                ],
                 76,
                 12,
             )
@@ -54,7 +59,12 @@ fn main() {
             "t_s,p_total_w,cb_w,ups_w,cb_budget_w",
             &rows,
         );
-        println!("csv: {}   trips: {}   UPS energy: {:.1} Wh", path.display(), summary.trips, summary.ups_energy_wh);
+        println!(
+            "csv: {}   trips: {}   UPS energy: {:.1} Wh",
+            path.display(),
+            summary.trips,
+            summary.ups_energy_wh
+        );
 
         // Quantified shape checks.
         let sd = |v: &[f64]| {
@@ -83,12 +93,18 @@ fn main() {
                     }
                 }
                 let frac = above as f64 / rec.len() as f64;
-                println!("transient budget excursions: {above} samples ({:.1}%)", frac * 100.0);
+                println!(
+                    "transient budget excursions: {above} samples ({:.1}%)",
+                    frac * 100.0
+                );
                 assert!(frac < 0.03, "excursions must be rare: {frac}");
                 assert_eq!(summary.trips, 0);
                 // Total fluctuates with the interactive workload: visibly
                 // more variable than the baselines' totals.
-                println!("total-power sd: {:.1} W (fluctuates with workload)", sd(&total));
+                println!(
+                    "total-power sd: {:.1} W (fluctuates with workload)",
+                    sd(&total)
+                );
             }
             _ => {
                 // Baselines: total nearly flat at the sprint budget while

@@ -20,8 +20,13 @@ fn main() {
         ("c-sgct-v2", PolicyKind::SgctV2),
     ] {
         banner(&format!("Fig. 7({}) — {}", &tag[..1], kind.name()));
-        let (rec, summary) = run_policy(&scenario, kind);
-        let fi: Vec<f64> = rec.samples().iter().map(|s| s.mean_freq_interactive).collect();
+        let run = run_policy(&scenario, kind);
+        let (rec, summary) = (&run.recorder, run.summary.clone());
+        let fi: Vec<f64> = rec
+            .samples()
+            .iter()
+            .map(|s| s.mean_freq_interactive)
+            .collect();
         let fb: Vec<f64> = rec.samples().iter().map(|s| s.mean_freq_batch).collect();
         println!(
             "{}",
@@ -42,7 +47,11 @@ fn main() {
             .iter()
             .map(|s| vec![s.t.0, s.mean_freq_interactive, s.mean_freq_batch])
             .collect();
-        let path = write_csv(&format!("fig7{tag}.csv"), "t_s,freq_interactive,freq_batch", &rows);
+        let path = write_csv(
+            &format!("fig7{tag}.csv"),
+            "t_s,freq_interactive,freq_batch",
+            &rows,
+        );
         println!("csv: {}", path.display());
         results.push((kind, summary, fb));
     }
@@ -78,6 +87,11 @@ fn main() {
     let fb = &results[0].2;
     let over: f64 = fb[20..145].iter().sum::<f64>() / 125.0;
     let rec_: f64 = fb[180..440].iter().sum::<f64>() / 260.0;
-    println!("\nSprintCon batch freq: overload-phase mean {over:.2} vs recovery-phase mean {rec_:.2}");
-    assert!(over > rec_ + 0.2, "batch frequency must step with the CB phase");
+    println!(
+        "\nSprintCon batch freq: overload-phase mean {over:.2} vs recovery-phase mean {rec_:.2}"
+    );
+    assert!(
+        over > rec_ + 0.2,
+        "batch frequency must step with the CB phase"
+    );
 }

@@ -19,10 +19,9 @@ fn main() {
         .flat_map(|&d| PolicyKind::ALL.iter().map(move |&k| (d, k)))
         .collect();
     let results = sweep(&cases, |(d, kind)| {
-        let scenario =
-            Scenario::paper_default(2019).with_deadline(Seconds::minutes(*d));
-        let (_, summary) = run_policy(&scenario, *kind);
-        (*d, *kind, summary)
+        let scenario = Scenario::paper_default(2019).with_deadline(Seconds::minutes(*d));
+        let run = run_policy(&scenario, *kind);
+        (*d, *kind, run.summary)
     });
 
     println!(
@@ -51,7 +50,10 @@ fn main() {
         "deadline_min,policy_idx,normalized_time_use,deadlines_met",
         &rows,
     );
-    println!("\ncsv: {}  (policy_idx: 0=SprintCon 1=SGCT 2=V1 3=V2)", path.display());
+    println!(
+        "\ncsv: {}  (policy_idx: 0=SprintCon 1=SGCT 2=V1 3=V2)",
+        path.display()
+    );
     println!("paper: all meet deadlines; SprintCon's time use closest to 1.0.");
 
     for (d, kind, s) in &results {
@@ -62,7 +64,8 @@ fn main() {
             PolicyKind::Sgct => {}
             _ => {
                 assert_eq!(
-                    s.deadlines_met, s.deadlines_total,
+                    s.deadlines_met,
+                    s.deadlines_total,
                     "{} must meet all {d}-minute deadlines",
                     kind.name()
                 );

@@ -20,13 +20,15 @@ fn main() {
         .flat_map(|&d| PolicyKind::ALL.iter().map(move |&k| (d, k)))
         .collect();
     let results = sweep(&cases, |(d, kind)| {
-        let scenario =
-            Scenario::paper_default(2019).with_deadline(Seconds::minutes(*d));
-        let (_, summary) = run_policy(&scenario, *kind);
-        (*d, *kind, summary)
+        let scenario = Scenario::paper_default(2019).with_deadline(Seconds::minutes(*d));
+        let run = run_policy(&scenario, *kind);
+        (*d, *kind, run.summary)
     });
 
-    println!("{:>9} {:>10} {:>8} {:>10}", "deadline", "policy", "DoD", "ups_Wh");
+    println!(
+        "{:>9} {:>10} {:>8} {:>10}",
+        "deadline", "policy", "DoD", "ups_Wh"
+    );
     let mut rows = Vec::new();
     for (d, kind, s) in &results {
         println!(
@@ -43,7 +45,11 @@ fn main() {
             s.ups_energy_wh,
         ]);
     }
-    let path = write_csv("fig8b_ups_dod.csv", "deadline_min,policy_idx,dod,ups_wh", &rows);
+    let path = write_csv(
+        "fig8b_ups_dod.csv",
+        "deadline_min,policy_idx,dod,ups_wh",
+        &rows,
+    );
     println!("\ncsv: {}", path.display());
 
     let dod_of = |d: f64, k: PolicyKind| {
@@ -61,14 +67,24 @@ fn main() {
         let v1 = dod_of(d, PolicyKind::SgctV1);
         let v2 = dod_of(d, PolicyKind::SgctV2);
         let sg = dod_of(d, PolicyKind::Sgct);
-        assert!(sc < v1 * 0.75, "deadline {d}m: SprintCon {sc:.2} vs V1 {v1:.2}");
-        assert!(sc < v2 * 0.75, "deadline {d}m: SprintCon {sc:.2} vs V2 {v2:.2}");
+        assert!(
+            sc < v1 * 0.75,
+            "deadline {d}m: SprintCon {sc:.2} vs V1 {v1:.2}"
+        );
+        assert!(
+            sc < v2 * 0.75,
+            "deadline {d}m: SprintCon {sc:.2} vs V2 {v2:.2}"
+        );
         assert!(sg > v1 && sg > v2, "SGCT discharges the most");
     }
 
     banner("§VII-D battery-lifetime consequence (12-minute deadline)");
     let life = LfpCycleLife::paper_default();
-    for kind in [PolicyKind::SprintCon, PolicyKind::SgctV1, PolicyKind::SgctV2] {
+    for kind in [
+        PolicyKind::SprintCon,
+        PolicyKind::SgctV1,
+        PolicyKind::SgctV2,
+    ] {
         let dod = dod_of(12.0, kind).max(0.01);
         let cycles = life.cycles_at(dod);
         let years = life.service_years(dod, 10.0);
@@ -84,5 +100,8 @@ fn main() {
     }
     let sc_repl = life.replacements_over(dod_of(12.0, PolicyKind::SprintCon).max(0.01), 10.0, 10.0);
     let v1_repl = life.replacements_over(dod_of(12.0, PolicyKind::SgctV1), 10.0, 10.0);
-    assert!(sc_repl < v1_repl, "SprintCon must need fewer battery replacements");
+    assert!(
+        sc_repl < v1_repl,
+        "SprintCon must need fewer battery replacements"
+    );
 }

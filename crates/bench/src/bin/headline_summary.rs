@@ -13,7 +13,7 @@ fn main() {
     let scenario = Scenario::paper_default(2019);
     banner("Headline: 15-minute sprint, 12-minute batch deadline");
     let results = run_all(&scenario);
-    let summaries: Vec<_> = results.iter().map(|(_, s)| s.clone()).collect();
+    let summaries: Vec<_> = results.iter().map(|r| r.summary.clone()).collect();
     println!("{}", summary_table(&summaries));
 
     let sprintcon = &summaries[0];

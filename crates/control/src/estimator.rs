@@ -61,14 +61,14 @@ impl Rls {
         let px = self.p.matvec(x);
         let denom = self.lambda + crate::linalg::dot(x, &px);
         let k: Vec<f64> = px.iter().map(|v| v / denom).collect();
-        for i in 0..n {
-            self.theta[i] += k[i] * innovation;
+        for (t, ki) in self.theta.iter_mut().zip(&k) {
+            *t += ki * innovation;
         }
         // P ← (P − K·xᵀP) / λ
         let xp = self.p.matvec_t(x); // xᵀP (row), P symmetric ⇒ = P·x
-        for i in 0..n {
-            for j in 0..n {
-                self.p[(i, j)] = (self.p[(i, j)] - k[i] * xp[j]) / self.lambda;
+        for (i, ki) in k.iter().enumerate() {
+            for (j, xpj) in xp.iter().enumerate() {
+                self.p[(i, j)] = (self.p[(i, j)] - ki * xpj) / self.lambda;
             }
         }
         self.updates += 1;

@@ -57,7 +57,11 @@ impl Kalman1d {
 
     /// Incorporate one measurement; returns the new estimate.
     pub fn update(&mut self, z: f64) -> f64 {
+        telemetry::counter_add("kalman_updates", 1);
         if !self.initialized {
+            // First sample after construction or a reset(): the diffuse
+            // prior adopts the measurement wholesale.
+            telemetry::counter_add("kalman_reinits", 1);
             self.x = z;
             self.p = self.r;
             self.initialized = true;

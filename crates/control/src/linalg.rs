@@ -84,9 +84,8 @@ impl Mat {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, x.len(), "matvec shape mismatch");
         let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        for (yi, row) in y.iter_mut().zip(self.data.chunks_exact(self.cols)) {
+            *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         y
     }
@@ -95,10 +94,9 @@ impl Mat {
     pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(self.rows, x.len(), "matvec_t shape mismatch");
         let mut y = vec![0.0; self.cols];
-        for i in 0..self.rows {
-            let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..self.cols {
-                y[j] += row[j] * x[i];
+        for (xi, row) in x.iter().zip(self.data.chunks_exact(self.cols)) {
+            for (yj, rj) in y.iter_mut().zip(row) {
+                *yj += rj * xi;
             }
         }
         y
@@ -177,7 +175,9 @@ impl Mat {
         let n = self.rows;
         // Deterministic pseudo-random start vector with all components
         // nonzero (avoids starting orthogonal to the dominant subspace).
-        let mut v: Vec<f64> = (0..n).map(|i| 1.0 + 0.3 * ((i as f64) * 1.7).sin()).collect();
+        let mut v: Vec<f64> = (0..n)
+            .map(|i| 1.0 + 0.3 * ((i as f64) * 1.7).sin())
+            .collect();
         let norm0 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
         for x in v.iter_mut() {
             *x /= norm0;
@@ -235,11 +235,19 @@ impl Mul<&Mat> for &Mat {
 impl Add<&Mat> for &Mat {
     type Output = Mat;
     fn add(self, rhs: &Mat) -> Mat {
-        assert!(self.rows == rhs.rows && self.cols == rhs.cols, "shape mismatch");
+        assert!(
+            self.rows == rhs.rows && self.cols == rhs.cols,
+            "shape mismatch"
+        );
         Mat {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 }
@@ -247,11 +255,19 @@ impl Add<&Mat> for &Mat {
 impl Sub<&Mat> for &Mat {
     type Output = Mat;
     fn sub(self, rhs: &Mat) -> Mat {
-        assert!(self.rows == rhs.rows && self.cols == rhs.cols, "shape mismatch");
+        assert!(
+            self.rows == rhs.rows && self.cols == rhs.cols,
+            "shape mismatch"
+        );
         Mat {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
         }
     }
 }

@@ -21,8 +21,8 @@
 //! batch job that is behind (large `R`) is expensive to hold below peak
 //! frequency, so the optimizer throttles the jobs that can afford it.
 
-use crate::qp::{QpProblem, QpSolution};
 use crate::linalg::Mat;
+use crate::qp::{QpProblem, QpSolution};
 
 /// Static MPC configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -148,6 +148,7 @@ impl MpcController {
     /// (Eq. (6)), set point `target` (`P_batch`), current channel
     /// frequencies `f_now`.
     pub fn compute(&self, p_fb: f64, target: f64, f_now: &[f64]) -> MpcDecision {
+        let _timer = telemetry::span("mpc_compute");
         let n = self.num_channels();
         assert_eq!(f_now.len(), n);
         let (lp, lc) = (self.cfg.lp, self.cfg.lc);
@@ -199,6 +200,10 @@ impl MpcController {
         }
 
         let qp = QpProblem::new(h, g, lo, hi).solve(1e-7, 2_000);
+        telemetry::histogram_observe("mpc_solve_iters", qp.iterations as f64);
+        if !qp.converged {
+            telemetry::counter_add("mpc_qp_fallback", 1);
+        }
         let freqs: Vec<f64> = qp.x[..n].to_vec();
         let predicted_power = p_fb
             + self
@@ -394,12 +399,7 @@ mod tests {
         let f_now = vec![0.6; 4];
         let p_now = 15.0 * 0.6 * 4.0; // matches model prediction
         let d = ctrl.compute(p_now, p_now, &f_now);
-        let moved: f64 = d
-            .freqs
-            .iter()
-            .zip(&f_now)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let moved: f64 = d.freqs.iter().zip(&f_now).map(|(a, b)| (a - b).abs()).sum();
         assert!(moved < 0.2, "moved {moved}");
     }
 

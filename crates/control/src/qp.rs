@@ -45,6 +45,16 @@ pub struct QpSolution {
     pub converged: bool,
 }
 
+/// Record a finished solve into the active telemetry collector (if any):
+/// iteration histogram plus total/non-converged counters.
+fn record_solve(sol: &QpSolution) {
+    telemetry::counter_add("qp_solve_total", 1);
+    telemetry::histogram_observe("qp_solve_iters", sol.iterations as f64);
+    if !sol.converged {
+        telemetry::counter_add("qp_solve_nonconverged", 1);
+    }
+}
+
 impl QpProblem {
     pub fn new(h: Mat, g: Vec<f64>, lo: Vec<f64>, hi: Vec<f64>) -> Self {
         let n = g.len();
@@ -77,8 +87,8 @@ impl QpProblem {
     }
 
     fn project(&self, x: &mut [f64]) {
-        for i in 0..x.len() {
-            x[i] = x[i].clamp(self.lo[i], self.hi[i]);
+        for ((xi, lo), hi) in x.iter_mut().zip(&self.lo).zip(&self.hi) {
+            *xi = xi.clamp(*lo, *hi);
         }
     }
 
@@ -109,6 +119,7 @@ impl QpProblem {
 
     /// Accelerated projected-gradient solve (FISTA with restart).
     pub fn solve(&self, tol: f64, max_iters: usize) -> QpSolution {
+        let _timer = telemetry::span("qp_solve_time");
         let _ = self.dim(); // shape validation
         let step = 1.0 / self.lipschitz_bound();
         // Start at the projected unconstrained-Newton-ish point: the box
@@ -145,22 +156,26 @@ impl QpProblem {
             if iter % 8 == 0 {
                 let res = self.kkt_residual(&x);
                 if res < tol {
-                    return QpSolution {
+                    let sol = QpSolution {
                         x,
                         kkt_residual: res,
                         iterations: iter,
                         converged: true,
                     };
+                    record_solve(&sol);
+                    return sol;
                 }
             }
         }
         let res = self.kkt_residual(&x);
-        QpSolution {
+        let sol = QpSolution {
             converged: res < tol,
             kkt_residual: res,
             iterations: max_iters,
             x,
-        }
+        };
+        record_solve(&sol);
+        sol
     }
 
     /// Cyclic exact coordinate descent — the reference solver.
@@ -169,6 +184,7 @@ impl QpProblem {
     /// `x_i ← clamp((−g_i − Σ_{j≠i} H_ij x_j) / H_ii, lo_i, hi_i)`;
     /// sweeping until no coordinate moves converges for SPD `H`.
     pub fn solve_coordinate_descent(&self, tol: f64, max_sweeps: usize) -> QpSolution {
+        let _timer = telemetry::span("qp_solve_time");
         let n = self.dim();
         let mut x: Vec<f64> = self
             .lo
@@ -182,9 +198,9 @@ impl QpProblem {
                 let hii = self.h[(i, i)];
                 assert!(hii > 0.0, "Hessian diagonal must be positive");
                 let mut s = self.g[i];
-                for j in 0..n {
+                for (j, xj) in x.iter().enumerate() {
                     if j != i {
-                        s += self.h[(i, j)] * x[j];
+                        s += self.h[(i, j)] * xj;
                     }
                 }
                 let xi = (-s / hii).clamp(self.lo[i], self.hi[i]);
@@ -194,22 +210,26 @@ impl QpProblem {
             if max_move < tol * 0.1 {
                 let res = self.kkt_residual(&x);
                 if res < tol {
-                    return QpSolution {
+                    let sol = QpSolution {
                         x,
                         kkt_residual: res,
                         iterations: sweep,
                         converged: true,
                     };
+                    record_solve(&sol);
+                    return sol;
                 }
             }
         }
         let res = self.kkt_residual(&x);
-        QpSolution {
+        let sol = QpSolution {
             converged: res < tol,
             kkt_residual: res,
             iterations: max_sweeps,
             x,
-        }
+        };
+        record_solve(&sol);
+        sol
     }
 }
 
@@ -290,12 +310,7 @@ mod tests {
     #[test]
     fn solution_always_feasible() {
         let h = spd(4, 9);
-        let p = QpProblem::new(
-            h,
-            vec![10.0, -10.0, 3.0, -3.0],
-            vec![0.0; 4],
-            vec![1.0; 4],
-        );
+        let p = QpProblem::new(h, vec![10.0, -10.0, 3.0, -3.0], vec![0.0; 4], vec![1.0; 4]);
         let sol = p.solve(1e-8, 10_000);
         for (i, &x) in sol.x.iter().enumerate() {
             assert!((0.0..=1.0).contains(&x), "x[{i}]={x}");
@@ -345,7 +360,11 @@ mod tests {
             let mut xp = x.clone();
             xp[i] += eps;
             let fd = (p.objective(&xp) - p.objective(&x)) / eps;
-            assert!((fd - grad[i]).abs() < 1e-4, "coord {i}: fd={fd} g={}", grad[i]);
+            assert!(
+                (fd - grad[i]).abs() < 1e-4,
+                "coord {i}: fd={fd} g={}",
+                grad[i]
+            );
         }
     }
 }

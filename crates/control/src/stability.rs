@@ -51,7 +51,8 @@ impl LoopParams {
         self.validate();
         let lp = self.lp as f64;
         let s: f64 = (1..=self.lp).map(|n| self.alpha.powi(n as i32)).sum();
-        self.q * self.kappa * self.kappa * (lp - s) / (self.q * self.kappa * self.kappa * lp + self.r)
+        self.q * self.kappa * self.kappa * (lp - s)
+            / (self.q * self.kappa * self.kappa * lp + self.r)
     }
 }
 
@@ -102,7 +103,10 @@ pub fn mimo_closed_loop(
     let n = k_model.len();
     assert!(n > 0 && k_plant.len() == n && r.len() == n);
     assert!((0.0..1.0).contains(&alpha));
-    assert!(r.iter().all(|&v| v > 0.0), "need strictly positive penalties");
+    assert!(
+        r.iter().all(|&v| v > 0.0),
+        "need strictly positive penalties"
+    );
     let lpf = lp as f64;
     let s: f64 = (1..=lp).map(|m| alpha.powi(m as i32)).sum();
 

@@ -122,9 +122,7 @@ impl CbScheduler {
             CbPhase::Recover { remaining } => {
                 let left = Seconds(remaining.0 - dt.0);
                 if left.0 <= 0.0 && breaker_margin < 0.05 {
-                    self.phase = CbPhase::Overload {
-                        remaining: self.on,
-                    };
+                    self.phase = CbPhase::Overload { remaining: self.on };
                 } else {
                     // Hold in recovery until both the timer and the
                     // breaker's thermal state allow another overload.
@@ -253,8 +251,9 @@ impl PowerLoadAllocator {
         let fmax = cfg.server.freq_scale.max;
         let p_min: f64 = batch_models.iter().map(|m| m.predict(fmin).0).sum();
         let p_max: f64 = batch_models.iter().map(|m| m.predict(fmax).0).sum();
-        let window_len =
-            (cfg.allocator_period.0 / cfg.control_period.0).round().max(1.0) as usize;
+        let window_len = (cfg.allocator_period.0 / cfg.control_period.0)
+            .round()
+            .max(1.0) as usize;
         let scheduler = CbScheduler::new(cfg);
         PowerLoadAllocator {
             scheduler,
@@ -299,8 +298,7 @@ impl PowerLoadAllocator {
         // headroom alone — banking beyond it would draw the UPS, which
         // the floor must not demand unless the deadline truly requires it.
         let n = self.batch_models.len() as f64;
-        let headroom_over =
-            ((self.scheduler.overloaded.0 - self.p_inter_est) / n).max(0.0);
+        let headroom_over = ((self.scheduler.overloaded.0 - self.p_inter_est) / n).max(0.0);
         let mut total_over = 0.0;
         let mut total_rec = 0.0;
         for (s, model) in self.batch_models.iter().enumerate() {
@@ -399,10 +397,7 @@ impl PowerLoadAllocator {
     /// Per-control-period observation of the interactive power estimate
     /// (from Eq. (5)); feeds the factor-2 window.
     pub fn observe_interactive_power(&mut self, p_inter: Watts) {
-        let p_cb = self
-            .scheduler
-            .p_cb()
-            .unwrap_or(Watts(f64::INFINITY));
+        let p_cb = self.scheduler.p_cb().unwrap_or(Watts(f64::INFINITY));
         let headroom = p_cb.0 - self.p_batch.0;
         self.deficit_window.push(p_inter.0 - headroom);
         // Exponential smoothing for the headroom split (robust to the
@@ -436,6 +431,7 @@ impl PowerLoadAllocator {
         self.scheduler.advance(dt, breaker_margin);
         if now.0 >= self.next_update.0 {
             self.next_update = Seconds(now.0 + self.period.0);
+            telemetry::counter_add("allocator_updates", 1);
             // Factor 1: deadline pressure, phase-aware.
             let (over, rec) = self.compute_deadline_floors(now, jobs);
             self.deadline_floor_overload = over;
@@ -443,15 +439,21 @@ impl PowerLoadAllocator {
             // Factor 2: interactive utilization of the CB headroom.
             if self.deficit_window.is_full() {
                 let frac = self.deficit_window.fraction_above(0.0);
+                let trim_before = self.trim;
                 if frac > self.inter_pressure_high {
                     self.trim *= 1.0 - self.trim_step;
                 } else if frac < self.inter_pressure_low {
                     self.trim *= 1.0 + self.trim_step;
                 }
                 self.trim = self.trim.clamp(0.3, 1.5);
+                if self.trim != trim_before {
+                    telemetry::counter_add("allocator_pbatch_adjustments", 1);
+                }
+                telemetry::gauge_set("allocator_trim", self.trim);
             }
         }
         self.p_batch = self.evaluate_p_batch();
+        telemetry::gauge_set("allocator_p_batch_w", self.p_batch.0);
     }
 
     fn evaluate_p_batch(&self) -> Watts {
@@ -520,9 +522,18 @@ mod tests {
 
     #[test]
     fn schedule_kind_selection_follows_the_paper() {
-        assert_eq!(ScheduleKind::for_burst(Seconds(30.0)), ScheduleKind::Unconstrained);
-        assert_eq!(ScheduleKind::for_burst(Seconds(300.0)), ScheduleKind::Constant);
-        assert_eq!(ScheduleKind::for_burst(Seconds(600.0)), ScheduleKind::Constant);
+        assert_eq!(
+            ScheduleKind::for_burst(Seconds(30.0)),
+            ScheduleKind::Unconstrained
+        );
+        assert_eq!(
+            ScheduleKind::for_burst(Seconds(300.0)),
+            ScheduleKind::Constant
+        );
+        assert_eq!(
+            ScheduleKind::for_burst(Seconds(600.0)),
+            ScheduleKind::Constant
+        );
         assert_eq!(
             ScheduleKind::for_burst(Seconds::minutes(15.0)),
             ScheduleKind::Periodic

@@ -181,11 +181,7 @@ mod tests {
     fn budget_is_never_exceeded() {
         for budget in [0.0, 5.0, 17.3, 36.0, 100.0] {
             let a = allocate_power_bids(&bids(5), Watts(budget), 0.2, 1.0);
-            let cost: f64 = a
-                .freqs
-                .iter()
-                .map(|&(_, f)| 15.0 * (f - 0.2))
-                .sum();
+            let cost: f64 = a.freqs.iter().map(|&(_, f)| 15.0 * (f - 0.2)).sum();
             assert!(cost <= budget + 1e-9, "budget {budget}: cost {cost}");
             assert!((cost - a.spent.0).abs() < 1e-9);
         }
@@ -194,8 +190,18 @@ mod tests {
     #[test]
     fn heterogeneous_slopes_charge_correctly() {
         let b = vec![
-            PowerBid { core: 0, demand: 1.0, priority: 1.0, watts_per_freq: 30.0 },
-            PowerBid { core: 1, demand: 0.9, priority: 1.0, watts_per_freq: 10.0 },
+            PowerBid {
+                core: 0,
+                demand: 1.0,
+                priority: 1.0,
+                watts_per_freq: 30.0,
+            },
+            PowerBid {
+                core: 1,
+                demand: 0.9,
+                priority: 1.0,
+                watts_per_freq: 10.0,
+            },
         ];
         // 24 W: core 0 (bid 1.0) costs 24 to fully sprint → exactly fits.
         let a = allocate_power_bids(&b, Watts(24.0), 0.2, 1.0);

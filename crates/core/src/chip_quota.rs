@@ -29,7 +29,13 @@ pub enum QuotaPolicy {
 ///
 /// The returned sum equals `quota` clamped into the feasible range
 /// `[n·fmin, n·fmax]`.
-pub fn divide_quota(quota: f64, weights: &[f64], fmin: f64, fmax: f64, policy: QuotaPolicy) -> Vec<f64> {
+pub fn divide_quota(
+    quota: f64,
+    weights: &[f64],
+    fmin: f64,
+    fmax: f64,
+    policy: QuotaPolicy,
+) -> Vec<f64> {
     let n = weights.len();
     assert!(n > 0, "group must contain cores");
     assert!(0.0 <= fmin && fmin <= fmax, "invalid DVFS box");
@@ -199,7 +205,11 @@ mod tests {
 
     #[test]
     fn single_core_group() {
-        for policy in [QuotaPolicy::Uniform, QuotaPolicy::ByWeight, QuotaPolicy::CriticalFirst] {
+        for policy in [
+            QuotaPolicy::Uniform,
+            QuotaPolicy::ByWeight,
+            QuotaPolicy::CriticalFirst,
+        ] {
             let f = divide_quota(0.7, &[2.0], 0.2, 1.0, policy);
             assert_eq!(f.len(), 1);
             assert!((f[0] - 0.7).abs() < 1e-12);

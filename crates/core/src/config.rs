@@ -145,8 +145,7 @@ impl SprintConConfig {
         );
         assert!((0.0..1.0).contains(&self.inter_pressure_low));
         assert!(
-            self.inter_pressure_low < self.inter_pressure_high
-                && self.inter_pressure_high <= 1.0
+            self.inter_pressure_low < self.inter_pressure_high && self.inter_pressure_high <= 1.0
         );
         assert!(self.p_batch_trim_step > 0.0 && self.p_batch_trim_step < 1.0);
         assert!(self.deadline_margin >= 1.0);

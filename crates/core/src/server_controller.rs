@@ -30,9 +30,7 @@ impl ServerPowerController {
         let m = cfg.batch_cores_per_server();
         assert!(m > 0, "controller needs batch cores to actuate");
         let batch_models: Vec<LinearServerModel> = (0..cfg.num_servers)
-            .map(|_| {
-                LinearServerModel::fit(&cfg.server, m, Utilization(cfg.assumed_batch_util))
-            })
+            .map(|_| LinearServerModel::fit(&cfg.server, m, Utilization(cfg.assumed_batch_util)))
             .collect();
         let inter_models: Vec<InteractivePowerModel> = (0..cfg.num_servers)
             .map(|_| InteractivePowerModel::fit(&cfg.server, cfg.interactive_cores_per_server))
@@ -41,7 +39,7 @@ impl ServerPowerController {
         // Per-core gain: the server's K spread across its batch cores.
         let gains: Vec<f64> = batch_models
             .iter()
-            .flat_map(|bm| std::iter::repeat(bm.k / m as f64).take(m))
+            .flat_map(|bm| std::iter::repeat_n(bm.k / m as f64, m))
             .collect();
         let fmin = vec![cfg.server.freq_scale.min.0; n];
         let fmax = vec![cfg.server.freq_scale.max.0; n];
@@ -136,6 +134,7 @@ impl ServerPowerController {
         p_batch_target: Watts,
         current_freqs: &[f64],
     ) -> MpcDecision {
+        let _timer = telemetry::span("server_controller_control");
         let p_fb = self.feedback_power(p_total, utils);
         let mut decision = self.mpc.compute(p_fb.0, p_batch_target.0, current_freqs);
         self.quantize_with_diffusion(&mut decision.freqs);
@@ -164,7 +163,11 @@ mod tests {
     }
 
     fn rack(c: &SprintConConfig) -> Rack {
-        Rack::homogeneous(c.server.clone(), c.num_servers, c.interactive_cores_per_server)
+        Rack::homogeneous(
+            c.server.clone(),
+            c.num_servers,
+            c.interactive_cores_per_server,
+        )
     }
 
     /// Apply the controller's per-core commands to the rack.
@@ -207,11 +210,7 @@ mod tests {
         // Converged: feedback power within ~6% of target despite model
         // error (nonlinear plant + quantized DVFS).
         let p_fb = ctrl.feedback_power(rk.power(), &utils);
-        assert!(
-            (p_fb.0 - 1700.0).abs() < 100.0,
-            "p_fb={} target=1700",
-            p_fb
-        );
+        assert!((p_fb.0 - 1700.0).abs() < 100.0, "p_fb={} target=1700", p_fb);
     }
 
     #[test]

@@ -35,6 +35,25 @@ pub enum SprintMode {
     Ended,
 }
 
+impl SprintMode {
+    /// Canonical short label, shared by traces, telemetry and the
+    /// simulator's mode records.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SprintMode::Sprinting => "sprint",
+            SprintMode::CbProtect => "cb-protect",
+            SprintMode::UpsConserve => "ups-conserve",
+            SprintMode::Ended => "ended",
+        }
+    }
+}
+
+impl std::fmt::Display for SprintMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Measurements handed to the supervisor each control period.
 #[derive(Debug, Clone)]
 pub struct SprintConInputs<'a> {
@@ -162,6 +181,25 @@ impl SprintCon {
         let prev_mode = self.mode;
         self.update_mode(&inputs);
         if self.mode != prev_mode {
+            if telemetry::enabled() {
+                telemetry::counter_add("supervisor_mode_transitions", 1);
+                telemetry::counter_add(
+                    &format!(
+                        "supervisor_transition.{}->{}",
+                        prev_mode.label(),
+                        self.mode.label()
+                    ),
+                    1,
+                );
+                telemetry::event(
+                    "supervisor.mode_change",
+                    &[
+                        ("from", prev_mode.label().into()),
+                        ("to", self.mode.label().into()),
+                        ("t", self.now.0.into()),
+                    ],
+                );
+            }
             self.ups_ctrl.reset();
             if matches!(self.mode, SprintMode::CbProtect | SprintMode::Ended) {
                 // §IV-C: stop overloading a stressed breaker.
@@ -222,8 +260,7 @@ impl SprintCon {
                 let p_inter_est = p_inter.0.max(1.0);
                 let excess = inputs.p_total.0 - budget.0;
                 let scale = 1.0 - excess / p_inter_est;
-                let f_new = (self.inter_freq.0 * scale.clamp(0.5, 1.05))
-                    .clamp(fmin.0, 1.0);
+                let f_new = (self.inter_freq.0 * scale.clamp(0.5, 1.05)).clamp(fmin.0, 1.0);
                 self.inter_freq = NormFreq(f_new);
                 // A residual trickle of UPS discharge covers what the
                 // throttle has not yet absorbed (the battery clamps it

@@ -58,11 +58,10 @@ impl UpsPowerController {
             needed
         } else {
             // Less needed: release gradually to avoid duty chatter.
-            Watts(
-                self.release_smoothing * self.last.0 + (1.0 - self.release_smoothing) * needed.0,
-            )
+            Watts(self.release_smoothing * self.last.0 + (1.0 - self.release_smoothing) * needed.0)
         };
         self.last = cmd;
+        telemetry::gauge_set("ups_discharge_cmd_w", cmd.0);
         cmd
     }
 
@@ -95,7 +94,7 @@ mod tests {
     fn increases_are_never_filtered() {
         let mut c = UpsPowerController::new(0.9);
         c.control(Watts(4100.0), Watts(4000.0)); // 100 W
-        // Demand jumps: the full 900 W must flow immediately.
+                                                 // Demand jumps: the full 900 W must flow immediately.
         assert_eq!(c.control(Watts(4900.0), Watts(4000.0)), Watts(900.0));
     }
 

@@ -7,10 +7,8 @@
 //! a power law `cycles(dod) = k · dod^(−β)` through those two published
 //! operating points.
 
-use serde::{Deserialize, Serialize};
-
 /// Power-law LFP cycle-life model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LfpCycleLife {
     /// Scale factor `k` in `cycles = k · dod^(−β)`.
     pub k: f64,
@@ -98,7 +96,10 @@ mod tests {
         // baselines (31% DoD) replace 3–4 times.
         let m = LfpCycleLife::paper_default();
         let sprintcon_years = m.service_years(0.17, 10.0);
-        assert!((sprintcon_years - 10.0).abs() < 1e-9, "capped at calendar life");
+        assert!(
+            (sprintcon_years - 10.0).abs() < 1e-9,
+            "capped at calendar life"
+        );
         assert_eq!(m.replacements_over(0.17, 10.0, 10.0), 0);
         let baseline_repl = m.replacements_over(0.31, 10.0, 10.0);
         assert!(

@@ -13,7 +13,7 @@
 use crate::units::{Seconds, Watts};
 
 /// Static parameters of a breaker.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BreakerSpec {
     /// Rated (continuous) capacity, W.
     pub rated: Watts,
@@ -84,7 +84,7 @@ impl BreakerSpec {
 }
 
 /// Breaker operating state.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum BreakerState {
     /// Conducting; `heat` is the thermal accumulator in `[0, trip_heat]`.
     Closed { heat: f64 },
@@ -102,7 +102,7 @@ pub struct BreakerOutcome {
 }
 
 /// A stateful circuit breaker.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CircuitBreaker {
     pub spec: BreakerSpec,
     pub state: BreakerState,
@@ -266,7 +266,10 @@ mod tests {
             assert!(open_seconds < 400.0);
         }
         // Re-closes after the 300 s reclose delay.
-        assert!((open_seconds - 300.0).abs() <= 1.0, "open for {open_seconds}");
+        assert!(
+            (open_seconds - 300.0).abs() <= 1.0,
+            "open for {open_seconds}"
+        );
         // And is cold again.
         assert!(cb.trip_margin() < 0.05);
     }

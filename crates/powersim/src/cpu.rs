@@ -13,7 +13,7 @@ use crate::units::{NormFreq, Utilization};
 /// SprintCon treats the two classes asymmetrically: interactive cores are
 /// pinned at peak frequency during a sprint, batch cores are the actuator
 /// of the server power controller (§IV-C).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CoreRole {
     /// Latency-critical interactive/streaming work; runs at peak frequency
     /// during a sprint.
@@ -27,7 +27,7 @@ pub enum CoreRole {
 ///
 /// Frequencies are normalized to the peak; `step` is the granularity in
 /// normalized units (e.g. 0.05 ≙ 100 MHz steps on a 2 GHz part).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FreqScale {
     pub min: NormFreq,
     pub max: NormFreq,
@@ -100,7 +100,7 @@ impl FreqScale {
 /// linear in frequency — that emerges from this per-core law plus the
 /// non-CPU power in [`crate::server`]; the controller's linear model is an
 /// approximation the plant does not share.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CorePowerLaw {
     /// Active power of one core at peak frequency and 100% utilization, W.
     pub peak_active_watts: f64,
@@ -126,7 +126,7 @@ impl CorePowerLaw {
 }
 
 /// Mutable state of one core inside the simulated plant.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoreState {
     pub role: CoreRole,
     /// Commanded (and, after quantization, actual) frequency.

@@ -75,7 +75,7 @@ mod tests {
         for i in 0..1000 {
             let lf = (i % 11) as f64 / 10.0;
             let p = fan.step(lf, Seconds(1.0)).0;
-            assert!(p >= 40.0 - 1e-9 && p <= 160.0 + 1e-9, "p={p}");
+            assert!((40.0 - 1e-9..=160.0 + 1e-9).contains(&p), "p={p}");
         }
     }
 

@@ -42,8 +42,8 @@ pub use breaker::{BreakerSpec, CircuitBreaker};
 pub use cpu::{CoreRole, FreqScale};
 pub use rack::{CoreId, PowerMonitor, Rack};
 pub use server::{InteractivePowerModel, LinearServerModel, Server, ServerSpec};
-pub use topology::{FeedOutcome, PowerFeed};
-pub use units::{NormFreq, Seconds, Utilization, WattHours, Watts};
 pub use supercap::{HybridStorage, Supercap, SupercapSpec};
 pub use thermal::{periodic_sprint_duty, ThermalModel};
+pub use topology::{FeedOutcome, PowerFeed};
+pub use units::{NormFreq, Seconds, Utilization, WattHours, Watts};
 pub use ups::{UpsBattery, UpsSpec};

@@ -9,14 +9,14 @@ use crate::server::{Server, ServerSpec};
 use crate::units::{NormFreq, Utilization, Watts};
 
 /// Addresses one core in the rack.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CoreId {
     pub server: usize,
     pub core: usize,
 }
 
 /// A rack of identical servers.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Rack {
     pub servers: Vec<Server>,
 }
@@ -27,7 +27,9 @@ impl Rack {
     pub fn homogeneous(spec: ServerSpec, n: usize, interactive_cores: usize) -> Self {
         assert!(n > 0, "rack must contain at least one server");
         Rack {
-            servers: (0..n).map(|_| Server::new(spec.clone(), interactive_cores)).collect(),
+            servers: (0..n)
+                .map(|_| Server::new(spec.clone(), interactive_cores))
+                .collect(),
         }
     }
 
@@ -67,7 +69,10 @@ impl Rack {
         let mut out = Vec::new();
         for (si, s) in self.servers.iter().enumerate() {
             for ci in s.cores_with_role(role) {
-                out.push(CoreId { server: si, core: ci });
+                out.push(CoreId {
+                    server: si,
+                    core: ci,
+                });
             }
         }
         out
@@ -126,7 +131,10 @@ impl Rack {
     pub fn interactive_util_vector(&self) -> Vec<Utilization> {
         self.servers
             .iter()
-            .map(|s| s.mean_util(CoreRole::Interactive).unwrap_or(Utilization::IDLE))
+            .map(|s| {
+                s.mean_util(CoreRole::Interactive)
+                    .unwrap_or(Utilization::IDLE)
+            })
             .collect()
     }
 }

@@ -16,7 +16,7 @@ use crate::cpu::{CorePowerLaw, CoreRole, CoreState, FreqScale};
 use crate::units::{NormFreq, Utilization, Watts};
 
 /// Static description of one server.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerSpec {
     /// Total CPU cores (the paper's testbed: two 4-core CPUs → 8).
     pub num_cores: usize,
@@ -89,7 +89,7 @@ impl ServerSpec {
 }
 
 /// One simulated server: a spec plus mutable per-core state.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Server {
     pub spec: ServerSpec,
     pub cores: Vec<CoreState>,
@@ -180,7 +180,7 @@ impl Server {
 ///
 /// `f_i` is the mean frequency of the batch cores of server *i*. Fitted by
 /// least squares against the plant at an assumed operating utilization.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearServerModel {
     /// Watts per unit normalized frequency (the `K_i` of Eq. (2)).
     pub k: f64,
@@ -205,8 +205,7 @@ impl LinearServerModel {
             c.util = Utilization::IDLE;
         }
         let baseline = probe.power().0;
-        let static_share =
-            spec.idle_watts * batch_cores as f64 / spec.num_cores as f64;
+        let static_share = spec.idle_watts * batch_cores as f64 / spec.num_cores as f64;
         for f in sample_freqs(&spec.freq_scale) {
             for ci in probe.cores_with_role(CoreRole::Batch).collect::<Vec<_>>() {
                 probe.cores[ci].freq = f;
@@ -231,7 +230,7 @@ impl LinearServerModel {
 
 /// The controller's interactive-power model, Eq. (5): `p = K'·u + C'`,
 /// valid while interactive cores run at peak frequency.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InteractivePowerModel {
     pub k: f64,
     pub c: f64,
@@ -259,11 +258,13 @@ impl InteractivePowerModel {
             }
             p.power().0
         };
-        let static_share =
-            spec.idle_watts * interactive_cores as f64 / spec.num_cores as f64;
+        let static_share = spec.idle_watts * interactive_cores as f64 / spec.num_cores as f64;
         for step in 0..=10 {
             let u = Utilization(step as f64 / 10.0);
-            for ci in probe.cores_with_role(CoreRole::Interactive).collect::<Vec<_>>() {
+            for ci in probe
+                .cores_with_role(CoreRole::Interactive)
+                .collect::<Vec<_>>()
+            {
                 probe.cores[ci].freq = NormFreq::PEAK;
                 probe.cores[ci].util = u;
             }

@@ -19,7 +19,7 @@ use crate::units::{Seconds, WattHours, Watts, SECONDS_PER_HOUR};
 use crate::ups::UpsBattery;
 
 /// Supercapacitor bank parameters.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SupercapSpec {
     /// Usable energy (supercaps store little — tens of watt-hours).
     pub capacity: WattHours,
@@ -41,7 +41,7 @@ impl SupercapSpec {
 }
 
 /// A stateful supercapacitor bank.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Supercap {
     pub spec: SupercapSpec,
     soc: WattHours,
@@ -68,8 +68,7 @@ impl Supercap {
             return Watts::ZERO;
         }
         let want = requested.min(self.spec.max_power);
-        let max_by_energy =
-            Watts(self.soc.0 * SECONDS_PER_HOUR / dt.0 * self.spec.efficiency);
+        let max_by_energy = Watts(self.soc.0 * SECONDS_PER_HOUR / dt.0 * self.spec.efficiency);
         let delivered = want.min(max_by_energy);
         let drawn = Watts(delivered.0 / self.spec.efficiency).over(dt);
         self.soc = WattHours((self.soc.0 - drawn.0).max(0.0));
@@ -89,8 +88,8 @@ impl Supercap {
         let want = offered.min(self.spec.max_power);
         let max_by_room = Watts(room.0 * SECONDS_PER_HOUR / dt.0 / self.spec.efficiency);
         let taken = want.min(max_by_room);
-        self.soc = (self.soc + Watts(taken.0 * self.spec.efficiency).over(dt))
-            .min(self.spec.capacity);
+        self.soc =
+            (self.soc + Watts(taken.0 * self.spec.efficiency).over(dt)).min(self.spec.capacity);
         taken
     }
 }
@@ -268,9 +267,7 @@ mod tests {
             let d = 300.0 + 2200.0 * ((k as f64) * 0.23).sin().abs();
             let out = h.discharge(Watts(d), Seconds(1.0));
             assert!(out.delivered.0 <= d + 1e-9);
-            assert!(
-                (out.delivered.0 - out.from_battery.0 - out.from_cap.0).abs() < 1e-9
-            );
+            assert!((out.delivered.0 - out.from_battery.0 - out.from_cap.0).abs() < 1e-9);
         }
     }
 

@@ -19,10 +19,9 @@
 //! Fig. 3 harness derive its duty cycle from physics.
 
 use crate::units::Seconds;
-use serde::{Deserialize, Serialize};
 
 /// Lumped RC thermal model of one processor.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThermalModel {
     /// Thermal capacitance, J/°C.
     pub capacitance: f64,
@@ -108,8 +107,7 @@ impl ThermalModel {
         }
         // T(t) = target + (T0 − target)·e^(−t/τ) = throttle  ⇒
         // t = τ·ln((target − T0)/(target − throttle))
-        let t = self.tau().0
-            * ((target - self.temp_c) / (target - self.throttle_c)).ln();
+        let t = self.tau().0 * ((target - self.temp_c) / (target - self.throttle_c)).ln();
         Some(Seconds(t))
     }
 
@@ -199,7 +197,11 @@ mod tests {
             t += dt;
             assert!(t < budget.0 + 1.0);
         }
-        assert!((t - budget.0).abs() < 0.05, "hit at {t} vs predicted {}", budget.0);
+        assert!(
+            (t - budget.0).abs() < 0.05,
+            "hit at {t} vs predicted {}",
+            budget.0
+        );
     }
 
     #[test]
@@ -235,8 +237,7 @@ mod tests {
     fn duty_cycle_matches_the_fig3_period() {
         // The [4]-class testbed: ~50 W sprints over a ~12 W TDP chip with
         // a 20 °C restart band reproduce Fig. 3's ~18 s period.
-        let (sprint, rest) =
-            periodic_sprint_duty(&ThermalModel::sprint_testbed(), 50.0, 2.0, 20.0);
+        let (sprint, rest) = periodic_sprint_duty(&ThermalModel::sprint_testbed(), 50.0, 2.0, 20.0);
         let period = sprint + rest;
         assert!(sprint > 1.0 && sprint < 10.0, "sprint={sprint}");
         assert!((14.0..24.0).contains(&period), "period={period}");

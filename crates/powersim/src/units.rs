@@ -13,25 +13,25 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
 /// Electrical power in watts.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Watts(pub f64);
 
 /// Electrical energy in watt-hours.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct WattHours(pub f64);
 
 /// Time duration in seconds.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Seconds(pub f64);
 
 /// Processor core frequency normalized to the peak frequency of the
 /// platform, i.e. `1.0` is the peak (2.0 GHz in the paper's testbed) and
 /// `0.2` is the floor (400 MHz).
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct NormFreq(pub f64);
 
 /// CPU core utilization in `[0, 1]`.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Utilization(pub f64);
 
 pub const SECONDS_PER_HOUR: f64 = 3600.0;

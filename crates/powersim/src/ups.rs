@@ -10,7 +10,7 @@
 use crate::units::{Seconds, WattHours, Watts};
 
 /// Static UPS parameters.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UpsSpec {
     /// Usable energy capacity.
     pub capacity: WattHours,
@@ -38,7 +38,7 @@ impl UpsSpec {
 }
 
 /// A stateful UPS battery.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UpsBattery {
     pub spec: UpsSpec,
     /// Current stored energy.

@@ -28,7 +28,7 @@ proptest! {
             s.cores[i].util = Utilization(u);
         }
         let p = s.power().0;
-        prop_assert!(p >= 150.0 - 1e-9 && p <= 300.0 + 1e-9, "p={p}");
+        prop_assert!((150.0 - 1e-9..=300.0 + 1e-9).contains(&p), "p={p}");
         // Raise every core's frequency: power must not decrease.
         let mut s2 = s.clone();
         for i in 0..8 {

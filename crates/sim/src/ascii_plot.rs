@@ -44,12 +44,7 @@ pub fn line_chart(title: &str, series: &[f64], width: usize, height: usize) -> S
 
 /// Render several aligned series as a multi-line chart with one symbol
 /// per series ('*', 'o', '+', 'x', ...).
-pub fn multi_chart(
-    title: &str,
-    series: &[(&str, &[f64])],
-    width: usize,
-    height: usize,
-) -> String {
+pub fn multi_chart(title: &str, series: &[(&str, &[f64])], width: usize, height: usize) -> String {
     assert!(width >= 2 && height >= 2);
     const SYMBOLS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
     let all: Vec<Vec<f64>> = series.iter().map(|(_, s)| resample(s, width)).collect();
@@ -110,7 +105,9 @@ fn resample(series: &[f64], width: usize) -> Vec<f64> {
     (0..width)
         .map(|i| {
             let a = (i as f64 * chunk) as usize;
-            let b = (((i + 1) as f64 * chunk) as usize).min(series.len()).max(a + 1);
+            let b = (((i + 1) as f64 * chunk) as usize)
+                .min(series.len())
+                .max(a + 1);
             series[a..b].iter().sum::<f64>() / (b - a) as f64
         })
         .collect()

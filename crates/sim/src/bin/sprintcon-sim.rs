@@ -5,17 +5,21 @@
 //!               [--minutes N] [--deadline-min N] [--seed N]
 //!               [--demand-csv PATH]   # real request-rate trace (t_s,value or value rows)
 //!               [--out PATH]          # per-period CSV recording
+//!               [--trace PATH]        # JSONL telemetry trace (spans + events)
 //!               [--slo-delay S]       # QoS delay budget (default 0.25 s)
 //!               [--quiet]
 //! ```
 //!
 //! Runs the §VI-A scenario under the chosen policy and prints the run
-//! summary, the QoS report, and the event log.
+//! summary, the QoS report, the control-stack telemetry, and the event
+//! log.
 
 use powersim::units::Seconds;
 use simkit::{qos_report, summary_table, PolicyKind, Recorder, RunSummary, Scenario};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
+use telemetry::{Collector, JsonlSink, NullSink, Sink};
 
 struct Args {
     policy: PolicyKind,
@@ -24,6 +28,7 @@ struct Args {
     seed: u64,
     demand_csv: Option<PathBuf>,
     out: Option<PathBuf>,
+    trace: Option<PathBuf>,
     slo_delay: f64,
     quiet: bool,
 }
@@ -32,7 +37,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: sprintcon-sim [--policy sprintcon|sgct|sgct-v1|sgct-v2] [--minutes N]\n\
          \x20                    [--deadline-min N] [--seed N] [--demand-csv PATH]\n\
-         \x20                    [--out PATH] [--slo-delay S] [--quiet]"
+         \x20                    [--out PATH] [--trace PATH] [--slo-delay S] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -45,6 +50,7 @@ fn parse_args() -> Args {
         seed: 2019,
         demand_csv: None,
         out: None,
+        trace: None,
         slo_delay: 0.25,
         quiet: false,
     };
@@ -69,6 +75,7 @@ fn parse_args() -> Args {
             "--seed" => args.seed = val().parse().unwrap_or_else(|_| usage()),
             "--demand-csv" => args.demand_csv = Some(PathBuf::from(val())),
             "--out" => args.out = Some(PathBuf::from(val())),
+            "--trace" => args.trace = Some(PathBuf::from(val())),
             "--slo-delay" => args.slo_delay = val().parse().unwrap_or_else(|_| usage()),
             "--quiet" => args.quiet = true,
             "--help" | "-h" => usage(),
@@ -111,8 +118,26 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut policy = args.policy.build();
-    let rec: Recorder = sim.run(policy.as_mut(), scenario.duration);
+    // One collector scoped over the run: the JSONL sink streams spans
+    // and events to --trace; without it records are dropped but the
+    // metric snapshot below is still collected.
+    let sink: Box<dyn Sink> = match &args.trace {
+        Some(path) => match JsonlSink::create(path) {
+            Ok(s) => Box::new(s),
+            Err(e) => {
+                eprintln!("failed to create {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Box::new(NullSink),
+    };
+    let collector = Arc::new(Collector::new(sink));
+    let rec: Recorder = telemetry::with_collector(Arc::clone(&collector), || {
+        let mut policy = args.policy.build();
+        sim.run(policy.as_mut(), scenario.duration)
+    });
+    collector.flush();
+    let metrics = collector.snapshot();
     let summary = RunSummary::from_run(args.policy.name(), &sim, &rec);
 
     if let Some(path) = &args.out {
@@ -137,6 +162,24 @@ fn main() -> ExitCode {
         qos.longest_violation_s,
     );
     if !args.quiet {
+        println!("\ncontrol-stack telemetry:");
+        for (name, v) in &metrics.counters {
+            println!("  counter   {name} = {v}");
+        }
+        for (name, v) in &metrics.gauges {
+            println!("  gauge     {name} = {v:.4}");
+        }
+        for (name, h) in &metrics.histograms {
+            let mean = if h.count > 0 {
+                h.sum / h.count as f64
+            } else {
+                0.0
+            };
+            println!("  histogram {name}: n={} mean={mean:.2}", h.count);
+        }
+        if let Some(path) = &args.trace {
+            println!("jsonl trace written to {}", path.display());
+        }
         println!("\nevents:");
         for (t, e) in rec.events() {
             println!("  {:>8.1}s  {:?}", t.0, e);

@@ -20,15 +20,14 @@
 //!    remainder through the breaker) — trips and brownouts happen here;
 //! 6. a brownout shuts the rack down for good (Fig. 5's ending).
 
+use crate::mode::ModeLabel;
 use crate::policy::{FreqCommand, Policy, PolicyCommand, SimView};
 use crate::recorder::{Recorder, Sample};
-use powersim::breaker::CircuitBreaker;
 use powersim::cpu::CoreRole;
 use powersim::fan::FanModel;
 use powersim::rack::{PowerMonitor, Rack};
 use powersim::topology::PowerFeed;
 use powersim::units::{NormFreq, Seconds, Utilization, Watts};
-use powersim::ups::UpsBattery;
 use workloads::batch::BatchJob;
 use workloads::interactive::InteractiveTier;
 
@@ -55,8 +54,9 @@ pub struct RackSim {
     last_measured: Watts,
     last_fan: Watts,
     max_rack_power: Watts,
-    /// Previous tick's mode label (event-log edge detection).
-    last_mode: &'static str,
+    /// Previous tick's mode label (event-log edge detection); `None`
+    /// until the first tick.
+    last_mode: Option<ModeLabel>,
     /// Previous tick's breaker state (reclose detection).
     last_breaker_closed: bool,
 }
@@ -64,8 +64,7 @@ pub struct RackSim {
 impl RackSim {
     pub fn new(
         rack: Rack,
-        breaker: CircuitBreaker,
-        ups: UpsBattery,
+        feed: PowerFeed,
         fan: FanModel,
         monitor: PowerMonitor,
         tier: InteractiveTier,
@@ -83,7 +82,7 @@ impl RackSim {
         let max_rack_power = rack.max_power();
         let initial = rack.power();
         RackSim {
-            feed: PowerFeed::new(breaker, ups),
+            feed,
             powered: vec![true; n],
             shutdown: false,
             now: Seconds::ZERO,
@@ -96,7 +95,7 @@ impl RackSim {
             tier,
             jobs,
             max_rack_power,
-            last_mode: "",
+            last_mode: None,
             last_breaker_closed: true,
         }
     }
@@ -163,6 +162,7 @@ impl RackSim {
 
     /// Advance one control period under `policy`, appending to `rec`.
     pub fn step(&mut self, policy: &mut dyn Policy, rec: &mut Recorder) {
+        let _tick = telemetry::span("sim_tick");
         let dt = self.dt;
         // 1. Policy decision on stale measurements.
         let view = SimView {
@@ -191,9 +191,7 @@ impl RackSim {
             .iter()
             .map(|s| s.mean_freq(CoreRole::Interactive).unwrap_or(NormFreq::PEAK))
             .collect();
-        let loads = self
-            .tier
-            .step(self.now, dt, &inter_freqs, &self.powered);
+        let loads = self.tier.step(self.now, dt, &inter_freqs, &self.powered);
         for (s, load) in loads.iter().enumerate() {
             for ci in self.rack.servers[s]
                 .cores_with_role(CoreRole::Interactive)
@@ -223,7 +221,11 @@ impl RackSim {
         }
 
         // 4. Plant power.
-        let server_power = if self.shutdown { Watts::ZERO } else { self.rack.power() };
+        let server_power = if self.shutdown {
+            Watts::ZERO
+        } else {
+            self.rack.power()
+        };
         let fan_power = if self.shutdown {
             Watts::ZERO
         } else {
@@ -261,10 +263,17 @@ impl RackSim {
             if browned_out {
                 rec.push_event(t, SimEvent::Brownout);
             }
-            if command.mode_label != self.last_mode {
+            if self.last_mode != Some(command.mode_label) {
                 rec.push_event(t, SimEvent::ModeChange(command.mode_label));
-                self.last_mode = command.mode_label;
+                self.last_mode = Some(command.mode_label);
             }
+        }
+
+        // Per-period plant telemetry: worst-case breaker headroom over
+        // the run, and the share of demand the UPS carried this period.
+        telemetry::gauge_track_min("breaker_margin_min", 1.0 - self.feed.breaker.trip_margin());
+        if p_true.0 > 0.0 {
+            telemetry::histogram_observe("ups_discharge_duty", outcome.ups_power.0 / p_true.0);
         }
 
         self.now += dt;
@@ -446,10 +455,7 @@ mod tests {
         let mut s = sim();
         let mut p = FixedPolicy::new(NormFreq::PEAK, 0.5, Watts(500.0));
         s.run(&mut p, Seconds(60.0));
-        let u = s
-            .rack
-            .mean_role_util(CoreRole::Interactive)
-            .unwrap();
+        let u = s.rack.mean_role_util(CoreRole::Interactive).unwrap();
         assert!(u.0 > 0.3 && u.0 <= 1.0, "u={u}");
     }
 }

@@ -1,10 +1,18 @@
 //! Experiment harness: run policies over scenarios, in parallel where a
 //! sweep allows it, with deterministic result ordering.
+//!
+//! Every runner goes through one internal body that installs a per-run
+//! [`telemetry::Collector`] (thread-scoped, so parallel sweeps cannot
+//! bleed metrics into each other), runs the simulation, and returns a
+//! [`RunOutput`] carrying the recording, the §VII summary, and the run's
+//! metric snapshot.
 
 use crate::metrics::RunSummary;
 use crate::policy::{Policy, SgctSimPolicy, SprintConPolicy};
 use crate::recorder::Recorder;
 use crate::scenario::Scenario;
+use std::sync::Arc;
+use telemetry::{Collector, MetricsSnapshot, NullSink, Sink};
 
 /// The four policies of §VII, in the paper's presentation order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -13,6 +21,19 @@ pub enum PolicyKind {
     Sgct,
     SgctV1,
     SgctV2,
+}
+
+/// Configuration overrides applied when instantiating a policy, replacing
+/// the former hard-coded `paper_default()` calls. `None` fields keep the
+/// paper defaults.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyOverrides {
+    /// Configuration for SprintCon runs.
+    pub sprintcon: Option<sprintcon::SprintConConfig>,
+    /// Configuration for the SGCT family. The `variant` field is forced
+    /// to match the [`PolicyKind`] being built, so one override serves
+    /// all three variants.
+    pub sgct: Option<baselines::SgctConfig>,
 }
 
 impl PolicyKind {
@@ -32,42 +53,134 @@ impl PolicyKind {
         }
     }
 
-    /// Instantiate a fresh policy.
+    /// Instantiate a fresh policy with the paper's configuration.
     pub fn build(&self) -> Box<dyn Policy> {
+        self.build_with(&PolicyOverrides::default())
+    }
+
+    /// Instantiate a fresh policy, taking configuration from `overrides`
+    /// where provided.
+    pub fn build_with(&self, overrides: &PolicyOverrides) -> Box<dyn Policy> {
         match self {
-            PolicyKind::SprintCon => Box::new(SprintConPolicy::paper_default()),
-            PolicyKind::Sgct => Box::new(SgctSimPolicy::new(baselines::SgctVariant::Uncontrolled)),
-            PolicyKind::SgctV1 => Box::new(SgctSimPolicy::new(baselines::SgctVariant::V1Ideal)),
-            PolicyKind::SgctV2 => Box::new(SgctSimPolicy::new(
-                baselines::SgctVariant::V2InteractivePriority,
-            )),
+            PolicyKind::SprintCon => {
+                let cfg = overrides
+                    .sprintcon
+                    .clone()
+                    .unwrap_or_else(sprintcon::SprintConConfig::paper_default);
+                Box::new(SprintConPolicy::new(cfg))
+            }
+            PolicyKind::Sgct | PolicyKind::SgctV1 | PolicyKind::SgctV2 => {
+                let variant = match self {
+                    PolicyKind::Sgct => baselines::SgctVariant::Uncontrolled,
+                    PolicyKind::SgctV1 => baselines::SgctVariant::V1Ideal,
+                    PolicyKind::SgctV2 => baselines::SgctVariant::V2InteractivePriority,
+                    PolicyKind::SprintCon => unreachable!(),
+                };
+                let cfg = match &overrides.sgct {
+                    Some(c) => {
+                        let mut c = c.clone();
+                        c.variant = variant;
+                        c
+                    }
+                    None => baselines::SgctConfig::paper_default(variant),
+                };
+                Box::new(SgctSimPolicy::with_config(cfg))
+            }
         }
     }
 }
 
-/// Run one policy over one scenario end to end.
-pub fn run_policy(scenario: &Scenario, kind: PolicyKind) -> (Recorder, RunSummary) {
-    let mut sim = scenario.build();
-    let mut policy = kind.build();
-    let rec = sim.run(policy.as_mut(), scenario.duration);
-    let summary = RunSummary::from_run(kind.name(), &sim, &rec);
-    (rec, summary)
+/// Everything one policy run produces.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// The full per-period recording.
+    pub recorder: Recorder,
+    /// The §VII summary row.
+    pub summary: RunSummary,
+    /// Telemetry captured during the run (control-loop counters, solver
+    /// iteration histograms, plant gauges). Deterministically name-sorted.
+    pub metrics: MetricsSnapshot,
+}
+
+/// The single run body behind every public runner: build, install a
+/// per-run collector, run, summarize, snapshot.
+fn run_instrumented(
+    scenario: &Scenario,
+    kind: PolicyKind,
+    overrides: &PolicyOverrides,
+    sink: Box<dyn Sink>,
+) -> RunOutput {
+    let collector = Arc::new(Collector::new(sink));
+    telemetry::with_collector(Arc::clone(&collector), || {
+        let mut sim = scenario.build();
+        let mut policy = kind.build_with(overrides);
+        let recorder = sim.run(policy.as_mut(), scenario.duration);
+        let summary = RunSummary::from_run(kind.name(), &sim, &recorder);
+        collector.flush();
+        RunOutput {
+            recorder,
+            summary,
+            metrics: collector.snapshot(),
+        }
+    })
+}
+
+/// Run one policy over one scenario end to end with paper defaults.
+pub fn run_policy(scenario: &Scenario, kind: PolicyKind) -> RunOutput {
+    run_instrumented(
+        scenario,
+        kind,
+        &PolicyOverrides::default(),
+        Box::new(NullSink),
+    )
+}
+
+/// Run one policy with configuration overrides.
+pub fn run_policy_with(
+    scenario: &Scenario,
+    kind: PolicyKind,
+    overrides: &PolicyOverrides,
+) -> RunOutput {
+    run_instrumented(scenario, kind, overrides, Box::new(NullSink))
+}
+
+/// Run one policy streaming trace records (spans, mode-change events)
+/// into `sink` — e.g. a [`telemetry::JsonlSink`] for offline analysis.
+pub fn run_policy_traced(
+    scenario: &Scenario,
+    kind: PolicyKind,
+    overrides: &PolicyOverrides,
+    sink: Box<dyn Sink>,
+) -> RunOutput {
+    run_instrumented(scenario, kind, overrides, sink)
 }
 
 /// Run every §VII policy over the scenario (sequentially — each run is
 /// itself cheap; parallelism lives in [`sweep`]).
-pub fn run_all(scenario: &Scenario) -> Vec<(Recorder, RunSummary)> {
+pub fn run_all(scenario: &Scenario) -> Vec<RunOutput> {
     PolicyKind::ALL
         .iter()
         .map(|k| run_policy(scenario, *k))
         .collect()
 }
 
+/// Fold the per-run metric snapshots of `runs` into one aggregate, in
+/// input order (deterministic — see [`MetricsSnapshot::merge`]).
+pub fn aggregate_metrics<'a>(runs: impl IntoIterator<Item = &'a RunOutput>) -> MetricsSnapshot {
+    let mut agg = MetricsSnapshot::default();
+    for run in runs {
+        agg.merge(&run.metrics);
+    }
+    agg
+}
+
 /// Parallel parameter sweep with deterministic, input-ordered results.
 ///
-/// Fans out across threads with `crossbeam::scope`; each worker owns its
+/// Fans out across threads with `std::thread::scope`; each worker owns its
 /// own scenario/simulation, so there is no shared mutable state (the
-/// guide-recommended data-parallel shape).
+/// guide-recommended data-parallel shape). Runs started inside the sweep
+/// install thread-scoped collectors, so each [`RunOutput::metrics`] sees
+/// only its own run regardless of the thread it landed on.
 pub fn sweep<P, R, F>(params: &[P], f: F) -> Vec<R>
 where
     P: Sync,
@@ -83,21 +196,22 @@ where
         .map(|p| p.get())
         .unwrap_or(4)
         .min(n.max(1));
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let chunks = out.chunks_mut(n.div_ceil(threads));
         for (ci, chunk) in chunks.enumerate() {
             let f = &f;
             let base = ci * n.div_ceil(threads);
             let params = &params;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (i, slot) in chunk.iter_mut().enumerate() {
                     *slot = Some(f(&params[base + i]));
                 }
             });
         }
-    })
-    .expect("sweep worker panicked");
-    out.into_iter().map(|r| r.expect("sweep slot filled")).collect()
+    });
+    out.into_iter()
+        .map(|r| r.expect("sweep slot filled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -123,9 +237,61 @@ mod tests {
     fn run_policy_produces_full_recording() {
         let mut sc = Scenario::paper_default(11);
         sc.duration = Seconds(60.0); // keep the unit test quick
-        let (rec, summary) = run_policy(&sc, PolicyKind::SgctV1);
-        assert_eq!(rec.len(), 60);
-        assert_eq!(summary.policy, "SGCT-V1");
+        let out = run_policy(&sc, PolicyKind::SgctV1);
+        assert_eq!(out.recorder.len(), 60);
+        assert_eq!(out.summary.policy, "SGCT-V1");
+    }
+
+    #[test]
+    fn run_policy_attaches_control_loop_metrics() {
+        let mut sc = Scenario::paper_default(11);
+        sc.duration = Seconds(30.0);
+        let out = run_policy(&sc, PolicyKind::SprintCon);
+        // One MPC/QP solve per control period.
+        assert_eq!(out.metrics.counter("qp_solve_total"), 30);
+        assert_eq!(out.metrics.histogram("mpc_solve_iters").unwrap().count, 30);
+        assert_eq!(out.metrics.histogram("sim_tick.ns").unwrap().count, 30);
+        // The plant gauges are present and sane.
+        let headroom = out.metrics.gauge("breaker_margin_min").unwrap();
+        assert!((0.0..=1.0).contains(&headroom), "headroom={headroom}");
+        assert!(out.metrics.histogram("ups_discharge_duty").is_some());
+        // And nothing leaks into a fresh global/scoped-free context.
+        assert!(telemetry::snapshot().is_none());
+    }
+
+    #[test]
+    fn build_with_forces_the_variant_and_honors_overrides() {
+        // An SGCT override configured for the wrong variant still builds
+        // the kind that was asked for.
+        let overrides = PolicyOverrides {
+            sgct: Some(baselines::SgctConfig::paper_default(
+                baselines::SgctVariant::Uncontrolled,
+            )),
+            ..Default::default()
+        };
+        let p = PolicyKind::SgctV1.build_with(&overrides);
+        assert_eq!(p.name(), "SGCT-V1");
+
+        // A SprintCon override with a short burst flips the schedule to
+        // Unconstrained, observable as p_cb_target = None.
+        let mut cfg = sprintcon::SprintConConfig::paper_default();
+        cfg.t_burst = Seconds(30.0);
+        let overrides = PolicyOverrides {
+            sprintcon: Some(cfg),
+            ..Default::default()
+        };
+        let mut sc = Scenario::paper_default(3);
+        sc.duration = Seconds(10.0);
+        let out = run_policy_with(&sc, PolicyKind::SprintCon, &overrides);
+        assert_eq!(out.recorder.samples().last().unwrap().p_cb_target, None);
+        let base = run_policy(&sc, PolicyKind::SprintCon);
+        assert!(base
+            .recorder
+            .samples()
+            .last()
+            .unwrap()
+            .p_cb_target
+            .is_some());
     }
 
     #[test]
@@ -136,10 +302,37 @@ mod tests {
         let run = |seed: &u64| {
             let mut s = sc.clone();
             s.seed = *seed;
-            run_policy(&s, PolicyKind::SgctV2).1.avg_freq_batch
+            run_policy(&s, PolicyKind::SgctV2).summary.avg_freq_batch
         };
         let a = sweep(&seeds, run);
         let b = sweep(&seeds, run);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sweep_metrics_are_isolated_and_aggregate_deterministically() {
+        let mut sc = Scenario::paper_default(5);
+        sc.duration = Seconds(20.0);
+        let seeds: Vec<u64> = vec![1, 2, 3];
+        let run = |seed: &u64| {
+            let mut s = sc.clone();
+            s.seed = *seed;
+            run_policy(&s, PolicyKind::SprintCon)
+        };
+        let runs_a = sweep(&seeds, run);
+        let runs_b = sweep(&seeds, run);
+        for out in &runs_a {
+            // Per-run isolation: each run sees exactly its own 20 solves,
+            // no matter which worker thread it executed on.
+            assert_eq!(out.metrics.counter("qp_solve_total"), 20);
+        }
+        let mut agg_a = aggregate_metrics(&runs_a);
+        let mut agg_b = aggregate_metrics(&runs_b);
+        assert_eq!(agg_a.counter("qp_solve_total"), 60);
+        // Wall-clock span histograms (`*.ns`) legitimately vary between
+        // runs; everything else must aggregate identically.
+        agg_a.histograms.retain(|(k, _)| !k.ends_with(".ns"));
+        agg_b.histograms.retain(|(k, _)| !k.ends_with(".ns"));
+        assert_eq!(agg_a, agg_b, "aggregation must be deterministic");
     }
 }

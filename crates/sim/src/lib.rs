@@ -12,7 +12,9 @@
 //!   400 Wh UPS, Wikipedia-like burst, SPEC-like jobs).
 //! * [`recorder`] — per-period samples, CSV export, column extraction.
 //! * [`metrics`] — run summaries (avg frequencies, DoD, deadlines, …).
-//! * [`experiment`] — policy runners and parallel parameter sweeps.
+//! * [`mode`] — the shared [`mode::ModeLabel`] vocabulary for policy modes.
+//! * [`experiment`] — policy runners (with per-run telemetry snapshots)
+//!   and parallel parameter sweeps.
 //! * [`ascii_plot`] — terminal charts for the examples and figure bins.
 
 #![forbid(unsafe_code)]
@@ -21,15 +23,23 @@ pub mod ascii_plot;
 pub mod engine;
 pub mod experiment;
 pub mod metrics;
+pub mod mode;
 pub mod policy;
 pub mod qos;
 pub mod recorder;
 pub mod scenario;
 
 pub use engine::RackSim;
-pub use experiment::{run_all, run_policy, sweep, PolicyKind};
+pub use experiment::{
+    aggregate_metrics, run_all, run_policy, run_policy_traced, run_policy_with, sweep, PolicyKind,
+    PolicyOverrides, RunOutput,
+};
 pub use metrics::{summary_table, RunSummary};
+pub use mode::ModeLabel;
 pub use policy::{FreqCommand, Policy, PolicyCommand, SgctSimPolicy, SimView, SprintConPolicy};
 pub use qos::{qos_report, QosReport};
 pub use recorder::{Recorder, Sample, SimEvent};
 pub use scenario::Scenario;
+// Re-export the sink vocabulary so downstream crates can drive
+// `run_policy_traced` without a direct `telemetry` dependency.
+pub use telemetry::{Collector, JsonlSink, MemorySink, MetricsSnapshot, NullSink, Sink};

@@ -113,7 +113,17 @@ pub fn summary_table(rows: &[RunSummary]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<10} {:>7} {:>7} {:>6} {:>9} {:>9} {:>7} {:>7} {:>10} {:>8} {:>8}\n",
-        "policy", "f_int", "f_bat", "trips", "down@", "ups_Wh", "DoD", "maxDoD", "deadlines", "t_use", "svc"
+        "policy",
+        "f_int",
+        "f_bat",
+        "trips",
+        "down@",
+        "ups_Wh",
+        "DoD",
+        "maxDoD",
+        "deadlines",
+        "t_use",
+        "svc"
     ));
     for r in rows {
         out.push_str(&r.row());

@@ -1,0 +1,110 @@
+//! Typed policy mode labels.
+//!
+//! Every policy used to publish its internal mode as a `&'static str`,
+//! which made the recorder and event log stringly-typed (a typo in one
+//! label silently broke event matching). [`ModeLabel`] is the closed set
+//! of modes any shipped policy can be in: the four SprintCon supervisor
+//! modes (§IV-C) plus the SGCT schedule phases and the fixed test
+//! policy. `Display` renders exactly the strings the old API used, so
+//! CSV exports and trace files are unchanged.
+
+use sprintcon::SprintMode;
+
+/// A policy's internal mode, as recorded per control period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModeLabel {
+    /// SprintCon: normal sprinting ([`SprintMode::Sprinting`]).
+    Sprint,
+    /// SprintCon: breaker protection ([`SprintMode::CbProtect`]).
+    CbProtect,
+    /// SprintCon: UPS conservation ([`SprintMode::UpsConserve`]).
+    UpsConserve,
+    /// SprintCon: sprint over ([`SprintMode::Ended`]).
+    Ended,
+    /// SGCT schedule in its overload phase.
+    Overload,
+    /// SGCT schedule in its recovery phase.
+    Recover,
+    /// Fixed (open-loop) test policy.
+    Fixed,
+}
+
+impl ModeLabel {
+    /// The canonical short string (identical to the pre-enum labels).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ModeLabel::Sprint => "sprint",
+            ModeLabel::CbProtect => "cb-protect",
+            ModeLabel::UpsConserve => "ups-conserve",
+            ModeLabel::Ended => "ended",
+            ModeLabel::Overload => "overload",
+            ModeLabel::Recover => "recover",
+            ModeLabel::Fixed => "fixed",
+        }
+    }
+
+    /// The label belongs to the SprintCon supervisor ladder.
+    pub fn is_sprintcon(&self) -> bool {
+        matches!(
+            self,
+            ModeLabel::Sprint | ModeLabel::CbProtect | ModeLabel::UpsConserve | ModeLabel::Ended
+        )
+    }
+}
+
+impl std::fmt::Display for ModeLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<SprintMode> for ModeLabel {
+    fn from(m: SprintMode) -> Self {
+        match m {
+            SprintMode::Sprinting => ModeLabel::Sprint,
+            SprintMode::CbProtect => ModeLabel::CbProtect,
+            SprintMode::UpsConserve => ModeLabel::UpsConserve,
+            SprintMode::Ended => ModeLabel::Ended,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_the_legacy_strings() {
+        let pairs = [
+            (ModeLabel::Sprint, "sprint"),
+            (ModeLabel::CbProtect, "cb-protect"),
+            (ModeLabel::UpsConserve, "ups-conserve"),
+            (ModeLabel::Ended, "ended"),
+            (ModeLabel::Overload, "overload"),
+            (ModeLabel::Recover, "recover"),
+            (ModeLabel::Fixed, "fixed"),
+        ];
+        for (label, s) in pairs {
+            assert_eq!(label.to_string(), s);
+            assert_eq!(label.as_str(), s);
+        }
+    }
+
+    #[test]
+    fn sprint_modes_convert_losslessly() {
+        let modes = [
+            SprintMode::Sprinting,
+            SprintMode::CbProtect,
+            SprintMode::UpsConserve,
+            SprintMode::Ended,
+        ];
+        for m in modes {
+            let label = ModeLabel::from(m);
+            assert!(label.is_sprintcon());
+            // The supervisor's own label and the sim-side label agree.
+            assert_eq!(label.as_str(), m.label());
+        }
+        assert!(!ModeLabel::Overload.is_sprintcon());
+        assert!(!ModeLabel::Fixed.is_sprintcon());
+    }
+}

@@ -2,6 +2,7 @@
 //! systems under test, plus the adapters for SprintCon and the SGCT
 //! family.
 
+use crate::mode::ModeLabel;
 use powersim::rack::Rack;
 use powersim::units::{NormFreq, Seconds, Utilization, Watts};
 use workloads::batch::BatchJob;
@@ -62,8 +63,8 @@ pub struct PolicyCommand {
     pub p_cb_target: Option<Watts>,
     /// Published batch budget (SprintCon only).
     pub p_batch_target: Option<Watts>,
-    /// Short label of the policy's internal mode, for traces.
-    pub mode_label: &'static str,
+    /// The policy's internal mode, for traces and event-log edges.
+    pub mode_label: ModeLabel,
 }
 
 /// A control policy under test.
@@ -117,12 +118,6 @@ impl Policy for SprintConPolicy {
                 ups_soc: view.ups_soc,
             },
         );
-        let mode_label = match out.mode {
-            sprintcon::SprintMode::Sprinting => "sprint",
-            sprintcon::SprintMode::CbProtect => "cb-protect",
-            sprintcon::SprintMode::UpsConserve => "ups-conserve",
-            sprintcon::SprintMode::Ended => "ended",
-        };
         PolicyCommand {
             freqs: FreqCommand::RoleBased {
                 interactive: out.interactive_freq,
@@ -131,7 +126,7 @@ impl Policy for SprintConPolicy {
             ups_target: out.ups_discharge,
             p_cb_target: out.p_cb_target,
             p_batch_target: Some(out.p_batch_target),
-            mode_label,
+            mode_label: ModeLabel::from(out.mode),
         }
     }
 }
@@ -148,13 +143,19 @@ pub struct SgctSimPolicy {
 
 impl SgctSimPolicy {
     pub fn new(variant: baselines::SgctVariant) -> Self {
-        let name = match variant {
+        Self::with_config(baselines::SgctConfig::paper_default(variant))
+    }
+
+    /// Build from an explicit configuration (the experiment harness'
+    /// override path).
+    pub fn with_config(cfg: baselines::SgctConfig) -> Self {
+        let name = match cfg.variant {
             baselines::SgctVariant::Uncontrolled => "SGCT",
             baselines::SgctVariant::V1Ideal => "SGCT-V1",
             baselines::SgctVariant::V2InteractivePriority => "SGCT-V2",
         };
         SgctSimPolicy {
-            policy: baselines::SgctPolicy::new(baselines::SgctConfig::paper_default(variant)),
+            policy: baselines::SgctPolicy::new(cfg),
             name,
         }
     }
@@ -182,7 +183,11 @@ impl Policy for SgctSimPolicy {
                 self.policy.cfg.rated
             }),
             p_batch_target: None,
-            mode_label: if cmd.overloading { "overload" } else { "recover" },
+            mode_label: if cmd.overloading {
+                ModeLabel::Overload
+            } else {
+                ModeLabel::Recover
+            },
         }
     }
 }
@@ -228,7 +233,7 @@ pub mod tests_support {
                 ups_target: self.ups,
                 p_cb_target: None,
                 p_batch_target: None,
-                mode_label: "fixed",
+                mode_label: ModeLabel::Fixed,
             }
         }
     }

@@ -1,6 +1,7 @@
 //! Time-series recording of simulation runs, with CSV export and
 //! column-wise extraction for the figure harness.
 
+use crate::mode::ModeLabel;
 use powersim::units::{Seconds, Watts};
 use std::io::Write;
 use std::path::Path;
@@ -37,7 +38,7 @@ pub struct Sample {
     pub mean_freq_batch: f64,
     /// Mean queued interactive backlog (peak-core-seconds per core).
     pub interactive_backlog: f64,
-    pub mode_label: &'static str,
+    pub mode_label: ModeLabel,
 }
 
 /// A discrete event worth indexing a run by.
@@ -50,7 +51,7 @@ pub enum SimEvent {
     /// The rack browned out (unserved demand) and shut down.
     Brownout,
     /// The policy's internal mode changed (label = new mode).
-    ModeChange(&'static str),
+    ModeChange(ModeLabel),
     /// A batch job completed its first run.
     JobCompleted { core: usize },
 }
@@ -120,10 +121,7 @@ impl Recorder {
     /// Total energy delivered by the UPS over the run, Wh.
     pub fn ups_energy_wh(&self) -> f64 {
         let dt = self.dt();
-        self.samples
-            .iter()
-            .map(|s| s.ups_power.over(dt).0)
-            .sum()
+        self.samples.iter().map(|s| s.ups_power.over(dt).0).sum()
     }
 
     /// Total energy through the breaker, Wh.
@@ -227,7 +225,7 @@ mod tests {
             mean_freq_interactive: 1.0,
             mean_freq_batch: 0.6,
             interactive_backlog: 0.0,
-            mode_label: "sprint",
+            mode_label: ModeLabel::Sprint,
         }
     }
 

@@ -8,6 +8,7 @@ use powersim::breaker::{BreakerSpec, CircuitBreaker};
 use powersim::fan::FanModel;
 use powersim::rack::{PowerMonitor, Rack};
 use powersim::server::ServerSpec;
+use powersim::topology::PowerFeed;
 use powersim::units::Seconds;
 use powersim::ups::{UpsBattery, UpsSpec};
 use workloads::batch::BatchJob;
@@ -109,8 +110,10 @@ impl Scenario {
         let tier = InteractiveTier::new(demand, self.num_servers);
         RackSim::new(
             rack,
-            CircuitBreaker::new(self.breaker),
-            UpsBattery::full(self.ups),
+            PowerFeed::new(
+                CircuitBreaker::new(self.breaker),
+                UpsBattery::full(self.ups),
+            ),
             FanModel::paper_default(self.seed.wrapping_add(1)),
             PowerMonitor::new(
                 self.seed.wrapping_add(2),

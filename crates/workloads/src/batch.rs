@@ -13,10 +13,9 @@
 
 use crate::progress_model::ProgressModel;
 use powersim::units::Seconds;
-use serde::{Deserialize, Serialize};
 
 /// A batch job bound to one core.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BatchJob {
     /// Display name (from the benchmark profile).
     pub name: String,
@@ -113,7 +112,11 @@ impl BatchJob {
         }
         let left = Seconds(self.deadline.0 - now.0);
         if left.0 <= 0.0 {
-            return if self.remaining_work() > 0.0 { None } else { Some(0.0) };
+            return if self.remaining_work() > 0.0 {
+                None
+            } else {
+                Some(0.0)
+            };
         }
         Some(self.remaining_work() / left.0)
     }
@@ -123,7 +126,8 @@ impl BatchJob {
     /// make it (or the deadline already passed with work left).
     pub fn required_freq(&self, now: Seconds) -> Option<f64> {
         let rate = self.required_rate(now)?;
-        self.model.freq_for_rate(rate.min(1.0 + 1e-12).min(1.0))
+        self.model
+            .freq_for_rate(rate.min(1.0 + 1e-12).min(1.0))
             .filter(|_| rate <= 1.0 + 1e-9)
     }
 
@@ -142,7 +146,11 @@ impl BatchJob {
         }
         let remaining_t = self.deadline.0 - now.0;
         if remaining_t <= 0.0 {
-            return if self.remaining_work() > 0.0 { OVERDUE_WEIGHT } else { 0.0 };
+            return if self.remaining_work() > 0.0 {
+                OVERDUE_WEIGHT
+            } else {
+                0.0
+            };
         }
         let denom = remaining_t / (self.elapsed.0 + remaining_t);
         let w = (1.0 - self.progress()) / denom.max(1e-9);
@@ -299,7 +307,7 @@ mod tests {
     #[test]
     fn required_freq_none_when_even_peak_insufficient() {
         let j = job(); // 300 work
-        // 10 s before deadline, 300 work left → rate 30: impossible.
+                       // 10 s before deadline, 300 work left → rate 30: impossible.
         assert!(j.required_freq(Seconds(590.0)).is_none());
     }
 

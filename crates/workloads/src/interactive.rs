@@ -74,7 +74,13 @@ impl InteractiveTier {
     /// `freqs` (length = number of servers). `powered[s] == false` means
     /// the server is shut down (brownout): nothing is served and arriving
     /// demand is shed.
-    pub fn step(&mut self, t: Seconds, dt: Seconds, freqs: &[NormFreq], powered: &[bool]) -> Vec<InteractiveLoad> {
+    pub fn step(
+        &mut self,
+        t: Seconds,
+        dt: Seconds,
+        freqs: &[NormFreq],
+        powered: &[bool],
+    ) -> Vec<InteractiveLoad> {
         assert_eq!(freqs.len(), self.weights.len());
         assert_eq!(powered.len(), self.weights.len());
         let base = self.demand.at(t);
@@ -143,10 +149,7 @@ mod tests {
     use super::*;
 
     fn tier(demand: f64, servers: usize) -> InteractiveTier {
-        let mut t = InteractiveTier::new(
-            Trace::constant(Seconds(1.0), demand, 1000),
-            servers,
-        );
+        let mut t = InteractiveTier::new(Trace::constant(Seconds(1.0), demand, 1000), servers);
         t.weights = vec![1.0; servers]; // uniform for exactness in tests
         t
     }
@@ -164,12 +167,7 @@ mod tests {
     #[test]
     fn underload_at_peak_gives_util_equal_demand() {
         let mut tier = tier(0.6, 4);
-        let loads = tier.step(
-            Seconds(0.0),
-            Seconds(1.0),
-            &[NormFreq::PEAK; 4],
-            &[true; 4],
-        );
+        let loads = tier.step(Seconds(0.0), Seconds(1.0), &[NormFreq::PEAK; 4], &[true; 4]);
         for l in loads {
             assert!((l.util.0 - 0.6).abs() < 1e-9);
             assert!((l.served - 0.6).abs() < 1e-9);
@@ -235,9 +233,7 @@ mod tests {
         let mut tier = tier(0.8, 3);
         let freqs = [0.3, 1.0, 0.55];
         for k in 0..500 {
-            let fs: Vec<NormFreq> = (0..3)
-                .map(|s| NormFreq(freqs[(k + s) % 3]))
-                .collect();
+            let fs: Vec<NormFreq> = (0..3).map(|s| NormFreq(freqs[(k + s) % 3])).collect();
             tier.step(Seconds(k as f64), Seconds(1.0), &fs, &[true; 3]);
         }
         let accounted = tier.served_total + tier.shed_total + tier.mean_backlog();

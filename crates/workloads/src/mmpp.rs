@@ -14,10 +14,9 @@
 use crate::trace::Trace;
 use powersim::noise::NoiseSource;
 use powersim::units::Seconds;
-use serde::{Deserialize, Serialize};
 
 /// One demand regime.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DemandState {
     /// Demand level in `[0, 1]` (peak-core units per interactive core).
     pub level: f64,
@@ -26,7 +25,7 @@ pub struct DemandState {
 }
 
 /// Markov-modulated demand process.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MmppConfig {
     pub duration: Seconds,
     pub dt: Seconds,
@@ -45,9 +44,18 @@ impl MmppConfig {
             duration: Seconds::minutes(15.0),
             dt: Seconds(1.0),
             states: vec![
-                DemandState { level: 0.35, mean_dwell_s: 90.0 },
-                DemandState { level: 0.60, mean_dwell_s: 120.0 },
-                DemandState { level: 0.85, mean_dwell_s: 40.0 },
+                DemandState {
+                    level: 0.35,
+                    mean_dwell_s: 90.0,
+                },
+                DemandState {
+                    level: 0.60,
+                    mean_dwell_s: 120.0,
+                },
+                DemandState {
+                    level: 0.85,
+                    mean_dwell_s: 40.0,
+                },
             ],
             wobble_sigma: 0.05,
             wobble_tau: 10.0,
@@ -151,8 +159,14 @@ mod tests {
         // Long-dwell states dominate occupancy.
         let mut c = cfg();
         c.states = vec![
-            DemandState { level: 0.2, mean_dwell_s: 500.0 },
-            DemandState { level: 0.9, mean_dwell_s: 10.0 },
+            DemandState {
+                level: 0.2,
+                mean_dwell_s: 500.0,
+            },
+            DemandState {
+                level: 0.9,
+                mean_dwell_s: 10.0,
+            },
         ];
         c.wobble_sigma = 0.0;
         let t = c.generate(5);

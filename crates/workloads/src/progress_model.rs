@@ -15,10 +15,8 @@
 //! cache misses over millisecond windows (§IV-B), which we expose through
 //! [`ProgressModel::from_counters`].
 
-use serde::{Deserialize, Serialize};
-
 /// Per-workload execution-rate model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProgressModel {
     /// Fraction of execution time stalled on memory at peak frequency,
     /// in `[0, 1)`.

@@ -14,11 +14,10 @@
 //! same way for the motivation experiment.
 
 use crate::progress_model::ProgressModel;
-use serde::{Deserialize, Serialize};
 
 /// A synthetic benchmark profile: the counter signature the paper's
 /// short-term profiling would collect, plus a nominal job size.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchProfile {
     /// Display name, e.g. `"429.mcf"`.
     pub name: &'static str,
@@ -92,7 +91,10 @@ pub fn cfp2006() -> Vec<BenchProfile> {
 
 /// The paper's full batch mix: CINT on odd servers, CFP on even servers,
 /// one benchmark per batch core, cycled to cover `batch_cores_per_server`.
-pub fn paper_batch_mix(num_servers: usize, batch_cores_per_server: usize) -> Vec<Vec<BenchProfile>> {
+pub fn paper_batch_mix(
+    num_servers: usize,
+    batch_cores_per_server: usize,
+) -> Vec<Vec<BenchProfile>> {
     let cint = cint2006();
     let cfp = cfp2006();
     (0..num_servers)

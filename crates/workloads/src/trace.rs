@@ -68,7 +68,9 @@ impl Trace {
         let n = (self.duration().0 / new_dt.0).ceil() as usize;
         Trace::new(
             new_dt,
-            (0..n).map(|k| self.at(Seconds(k as f64 * new_dt.0))).collect(),
+            (0..n)
+                .map(|k| self.at(Seconds(k as f64 * new_dt.0)))
+                .collect(),
         )
     }
 
@@ -84,7 +86,10 @@ impl Trace {
     }
 
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Inclusive percentile in `[0, 100]` (nearest-rank on a sorted copy).

@@ -20,7 +20,9 @@ pub enum TraceIoError {
     Parse(usize, String),
     Empty,
     /// Timestamps are not uniformly spaced.
-    IrregularSampling { line: usize },
+    IrregularSampling {
+        line: usize,
+    },
 }
 
 impl std::fmt::Display for TraceIoError {

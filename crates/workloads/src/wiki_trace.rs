@@ -20,10 +20,9 @@
 use crate::trace::Trace;
 use powersim::noise::NoiseSource;
 use powersim::units::Seconds;
-use rand::Rng;
 
 /// Parameters of the synthetic interactive trace.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WikiTraceConfig {
     /// Trace duration.
     pub duration: Seconds,
@@ -126,12 +125,6 @@ impl WikiTraceConfig {
         }
         Trace::new(self.dt, values)
     }
-
-    /// Generate using an external `rand` RNG for the seed, convenient for
-    /// callers already holding one.
-    pub fn generate_with<R: Rng>(&self, rng: &mut R) -> Trace {
-        self.generate(rng.random::<u64>())
-    }
 }
 
 #[cfg(test)]
@@ -170,7 +163,9 @@ mod tests {
         c.ramp = Seconds(50.0);
         c.burst_duration = Seconds(300.0);
         assert!((c.envelope_at(Seconds(0.0)) - c.base_level).abs() < 1e-12);
-        assert!((c.envelope_at(Seconds(125.0)) - (c.base_level + c.burst_level) / 2.0).abs() < 1e-9);
+        assert!(
+            (c.envelope_at(Seconds(125.0)) - (c.base_level + c.burst_level) / 2.0).abs() < 1e-9
+        );
         assert!((c.envelope_at(Seconds(200.0)) - c.burst_level).abs() < 1e-12);
         // After decay, back at base.
         assert!((c.envelope_at(Seconds(500.0)) - c.base_level).abs() < 1e-12);
@@ -195,7 +190,10 @@ mod tests {
         let n = v.len() - 1;
         let mean = tr.mean();
         let var: f64 = v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / v.len() as f64;
-        let lag1: f64 = (0..n).map(|i| (v[i] - mean) * (v[i + 1] - mean)).sum::<f64>() / n as f64;
+        let lag1: f64 = (0..n)
+            .map(|i| (v[i] - mean) * (v[i + 1] - mean))
+            .sum::<f64>()
+            / n as f64;
         assert!(lag1 / var > 0.5, "lag-1 autocorrelation too low");
     }
 

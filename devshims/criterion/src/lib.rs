@@ -1,0 +1,314 @@
+//! Minimal, dependency-free stand-in for the `criterion` benchmark crate.
+//!
+//! The build environment is offline, so the real `criterion` (and its large
+//! dependency tree) cannot be fetched. This shim keeps the workspace's bench
+//! sources compiling unchanged — `Criterion`, `benchmark_group`,
+//! `bench_function`, `Bencher::iter` / `iter_batched`, `BatchSize`,
+//! `criterion_group!` / `criterion_main!` — and implements a simple but
+//! honest wall-clock harness:
+//!
+//! * each benchmark is warmed up (~50 ms), then timed over an
+//!   iteration count calibrated to a ~300 ms measurement window,
+//! * the mean, best and worst per-iteration times are printed in a
+//!   criterion-like one-line format,
+//! * a positional CLI argument filters benchmarks by substring, as with the
+//!   real crate (`cargo bench -- qp`).
+//!
+//! There is no statistical regression machinery; for A/B comparisons run the
+//! same bench twice and compare the printed means.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost. The shim times only the routine
+/// (never the setup closure), so the variants differ only in batching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Per-iteration timing collected by one `Bencher` run.
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    mean: Duration,
+    best: Duration,
+    worst: Duration,
+    iters: u64,
+}
+
+/// Handed to the benchmark closure; `iter`/`iter_batched` perform the
+/// warmup + calibrated measurement and stash the result.
+pub struct Bencher {
+    warmup: Duration,
+    window: Duration,
+    max_iters: u64,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    fn new(sample_scale: f64) -> Self {
+        Bencher {
+            warmup: Duration::from_millis(50),
+            window: Duration::from_millis((300.0 * sample_scale) as u64),
+            max_iters: 10_000_000,
+            result: None,
+        }
+    }
+
+    /// Time `f` in a tight loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup: run until the warmup budget is spent, counting iterations
+        // to calibrate the measurement loop.
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < self.warmup {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = self.warmup.as_secs_f64() / warm_iters.max(1) as f64;
+        let target =
+            ((self.window.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, self.max_iters);
+        // Measure in 10 samples so best/worst mean something.
+        let samples = 10u64.min(target);
+        let chunk = (target / samples).max(1);
+        let mut best = Duration::MAX;
+        let mut worst = Duration::ZERO;
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..chunk {
+                std::hint::black_box(f());
+            }
+            let dt = t0.elapsed();
+            let per = dt / chunk as u32;
+            best = best.min(per);
+            worst = worst.max(per);
+            total += dt;
+            iters += chunk;
+        }
+        self.result = Some(Measurement {
+            mean: total / iters.max(1) as u32,
+            best,
+            worst,
+            iters,
+        });
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let mut routine_time = Duration::ZERO;
+        while start.elapsed() < self.warmup {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            routine_time += t0.elapsed();
+            warm_iters += 1;
+        }
+        let per_iter = routine_time.as_secs_f64() / warm_iters.max(1) as f64;
+        let target = ((self.window.as_secs_f64() / per_iter.max(1e-9)) as u64)
+            .clamp(1, self.max_iters.min(100_000));
+        let mut best = Duration::MAX;
+        let mut worst = Duration::ZERO;
+        let mut total = Duration::ZERO;
+        for _ in 0..target {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            let dt = t0.elapsed();
+            best = best.min(dt);
+            worst = worst.max(dt);
+            total += dt;
+        }
+        self.result = Some(Measurement {
+            mean: total / target.max(1) as u32,
+            best,
+            worst,
+            iters: target,
+        });
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The top-level harness handle. One per bench binary.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    ran: usize,
+}
+
+impl Criterion {
+    /// Build from CLI args: flags (`--bench`, `--nocapture`, ...) are
+    /// ignored; the first positional argument is a substring filter.
+    pub fn from_args() -> Self {
+        let mut filter = None;
+        for a in std::env::args().skip(1) {
+            if !a.starts_with('-') && filter.is_none() {
+                filter = Some(a);
+            }
+        }
+        Criterion { filter, ran: 0 }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one(&mut self, id: &str, sample_scale: f64, f: &mut dyn FnMut(&mut Bencher)) {
+        if !self.matches(id) {
+            return;
+        }
+        let mut b = Bencher::new(sample_scale);
+        f(&mut b);
+        self.ran += 1;
+        match b.result {
+            Some(m) => println!(
+                "{id:<44} time: [{} {} {}]  ({} iters)",
+                fmt_duration(m.best),
+                fmt_duration(m.mean),
+                fmt_duration(m.worst),
+                m.iters
+            ),
+            None => println!("{id:<44} (no measurement recorded)"),
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run_one(&id, 1.0, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_scale: 1.0,
+        }
+    }
+
+    pub fn final_summary(&self) {
+        println!(
+            "\n{} benchmark{} run",
+            self.ran,
+            if self.ran == 1 { "" } else { "s" }
+        );
+    }
+}
+
+/// A named group of benchmarks (`group/bench` ids, like real criterion).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_scale: f64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Smaller sample counts shrink the measurement window proportionally.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_scale = (n as f64 / 100.0).clamp(0.05, 1.0);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        let scale = self.sample_scale;
+        self.criterion.run_one(&id, scale, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_records_a_measurement() {
+        let mut b = Bencher::new(0.05);
+        b.warmup = Duration::from_millis(5);
+        b.iter(|| std::hint::black_box(3u64).wrapping_mul(7));
+        let m = b.result.expect("measurement");
+        assert!(m.iters >= 1);
+        assert!(m.best <= m.mean && m.mean <= m.worst);
+    }
+
+    #[test]
+    fn bencher_iter_batched_records_a_measurement() {
+        let mut b = Bencher::new(0.05);
+        b.warmup = Duration::from_millis(5);
+        b.iter_batched(
+            || vec![1u64; 8],
+            |v| v.iter().sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert!(b.result.is_some());
+    }
+
+    #[test]
+    fn filter_matches_substrings() {
+        let c = Criterion {
+            filter: Some("qp".into()),
+            ran: 0,
+        };
+        assert!(c.matches("qp/fista_64"));
+        assert!(!c.matches("mpc/compute_8ch"));
+        let open = Criterion::default();
+        assert!(open.matches("anything"));
+    }
+
+    #[test]
+    fn duration_formatting_picks_sane_units() {
+        assert!(fmt_duration(Duration::from_nanos(120)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).ends_with("ms"));
+    }
+}

@@ -23,8 +23,8 @@ fn main() {
 
     let rows = sweep(&deadlines_min, |&d| {
         let scenario = Scenario::paper_default(2019).with_deadline(Seconds::minutes(d));
-        let (_, s) = run_policy(&scenario, PolicyKind::SprintCon);
-        (d, s)
+        let run = run_policy(&scenario, PolicyKind::SprintCon);
+        (d, run.summary)
     });
 
     for (d, s) in &rows {

@@ -18,7 +18,8 @@ fn main() {
     let results = run_all(&scenario);
 
     // Power behaviour, one chart per policy (Fig. 6 at a glance).
-    for (rec, summary) in &results {
+    for run in &results {
+        let (rec, summary) = (&run.recorder, &run.summary);
         let cb: Vec<f64> = rec.samples().iter().map(|s| s.cb_power.0).collect();
         let total: Vec<f64> = rec.samples().iter().map(|s| s.p_total.0).collect();
         println!(
@@ -35,7 +36,7 @@ fn main() {
         );
     }
 
-    let summaries: Vec<_> = results.iter().map(|(_, s)| s.clone()).collect();
+    let summaries: Vec<_> = results.iter().map(|r| r.summary.clone()).collect();
     println!("{}", summary_table(&summaries));
 
     let sprintcon = &summaries[0];

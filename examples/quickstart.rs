@@ -26,18 +26,38 @@ fn main() {
     let s = recording.samples().last().unwrap();
     println!("after {:.0} s:", s.t.0);
     println!("  rack power        : {}", s.p_total);
-    println!("  through breaker   : {}  (budget {:?})", s.cb_power, s.p_cb_target);
-    println!("  from UPS          : {}  (SoC {:.1}%)", s.ups_power, s.ups_soc * 100.0);
-    println!("  interactive cores : {:.2} of peak frequency", s.mean_freq_interactive);
-    println!("  batch cores       : {:.2} of peak frequency", s.mean_freq_batch);
+    println!(
+        "  through breaker   : {}  (budget {:?})",
+        s.cb_power, s.p_cb_target
+    );
+    println!(
+        "  from UPS          : {}  (SoC {:.1}%)",
+        s.ups_power,
+        s.ups_soc * 100.0
+    );
+    println!(
+        "  interactive cores : {:.2} of peak frequency",
+        s.mean_freq_interactive
+    );
+    println!(
+        "  batch cores       : {:.2} of peak frequency",
+        s.mean_freq_batch
+    );
     println!("  controller mode   : {}", s.mode_label);
 
     // Run-level summary.
     let summary = RunSummary::from_run("SprintCon", &sim, &recording);
     println!("\nsummary over {} samples:", recording.len());
     println!("  breaker trips     : {}", summary.trips);
-    println!("  UPS energy used   : {:.1} Wh (DoD {:.1}%)", summary.ups_energy_wh, summary.dod * 100.0);
-    println!("  interactive served: {:.1}%", summary.service_ratio * 100.0);
+    println!(
+        "  UPS energy used   : {:.1} Wh (DoD {:.1}%)",
+        summary.ups_energy_wh,
+        summary.dod * 100.0
+    );
+    println!(
+        "  interactive served: {:.1}%",
+        summary.service_ratio * 100.0
+    );
 
     assert_eq!(summary.trips, 0, "SprintCon never trips the breaker");
     println!("\nok: sprinting above the breaker rating, safely.");

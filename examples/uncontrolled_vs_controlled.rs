@@ -12,9 +12,14 @@ fn main() {
     let scenario = Scenario::paper_default(2019);
 
     println!("=== uncontrolled sprinting (SGCT) ===\n");
-    let (rec, sgct) = run_policy(&scenario, PolicyKind::Sgct);
+    let run = run_policy(&scenario, PolicyKind::Sgct);
+    let (rec, sgct) = (&run.recorder, &run.summary);
     let soc: Vec<f64> = rec.samples().iter().map(|s| s.ups_soc * 100.0).collect();
-    let margin: Vec<f64> = rec.samples().iter().map(|s| s.breaker_margin * 100.0).collect();
+    let margin: Vec<f64> = rec
+        .samples()
+        .iter()
+        .map(|s| s.breaker_margin * 100.0)
+        .collect();
     println!(
         "{}",
         multi_chart(
@@ -33,9 +38,14 @@ fn main() {
     println!("interactive served : {:.1}%", sgct.service_ratio * 100.0);
 
     println!("\n=== the same burst under SprintCon ===\n");
-    let (rec, sc) = run_policy(&scenario, PolicyKind::SprintCon);
+    let run = run_policy(&scenario, PolicyKind::SprintCon);
+    let (rec, sc) = (&run.recorder, &run.summary);
     let soc: Vec<f64> = rec.samples().iter().map(|s| s.ups_soc * 100.0).collect();
-    let margin: Vec<f64> = rec.samples().iter().map(|s| s.breaker_margin * 100.0).collect();
+    let margin: Vec<f64> = rec
+        .samples()
+        .iter()
+        .map(|s| s.breaker_margin * 100.0)
+        .collect();
     println!(
         "{}",
         multi_chart(

@@ -15,7 +15,8 @@ use simkit::{run_policy, PolicyKind, Scenario};
 #[test]
 fn sgct_uncontrolled_trips_drains_and_dies() {
     let scenario = Scenario::paper_default(2019);
-    let (rec, summary) = run_policy(&scenario, PolicyKind::Sgct);
+    let run = run_policy(&scenario, PolicyKind::Sgct);
+    let (rec, summary) = (&run.recorder, &run.summary);
     assert!(summary.trips >= 1);
     let first_trip = rec.samples().iter().position(|s| s.tripped).unwrap();
     assert!(first_trip <= 150, "tripped at {first_trip}s");
@@ -39,8 +40,8 @@ fn sgct_uncontrolled_trips_drains_and_dies() {
 #[test]
 fn ideal_baselines_never_trip_and_split_frequencies() {
     let scenario = Scenario::paper_default(2019);
-    let (_, v1) = run_policy(&scenario, PolicyKind::SgctV1);
-    let (_, v2) = run_policy(&scenario, PolicyKind::SgctV2);
+    let v1 = run_policy(&scenario, PolicyKind::SgctV1).summary;
+    let v2 = run_policy(&scenario, PolicyKind::SgctV2).summary;
     assert_eq!(v1.trips, 0);
     assert_eq!(v2.trips, 0);
     assert!(!v1.shutdown && !v2.shutdown);
@@ -60,7 +61,8 @@ fn ideal_baselines_never_trip_and_split_frequencies() {
 fn sprintcon_first_cycle_behaviour() {
     let mut scenario = Scenario::paper_default(2019);
     scenario.duration = Seconds::minutes(4.0);
-    let (rec, summary) = run_policy(&scenario, PolicyKind::SprintCon);
+    let run = run_policy(&scenario, PolicyKind::SprintCon);
+    let (rec, summary) = (&run.recorder, &run.summary);
     assert_eq!(summary.trips, 0);
     assert!((summary.avg_freq_interactive - 1.0).abs() < 1e-9);
     // Budget discipline: excursions above the published CB budget are
@@ -76,7 +78,10 @@ fn sprintcon_first_cycle_behaviour() {
     let fb: Vec<f64> = rec.samples().iter().map(|s| s.mean_freq_batch).collect();
     let over: f64 = fb[30..145].iter().sum::<f64>() / 115.0;
     let recov: f64 = fb[180..235].iter().sum::<f64>() / 55.0;
-    assert!(over > recov + 0.15, "overload {over:.2} vs recovery {recov:.2}");
+    assert!(
+        over > recov + 0.15,
+        "overload {over:.2} vs recovery {recov:.2}"
+    );
 }
 
 /// The headline comparison on a scaled rack (8 servers, proportionally
@@ -121,8 +126,10 @@ fn scaled_rack_headline_ordering() {
 fn end_to_end_determinism() {
     let mut scenario = Scenario::paper_default(5);
     scenario.duration = Seconds(90.0);
-    let (rec_a, sum_a) = run_policy(&scenario, PolicyKind::SgctV1);
-    let (rec_b, sum_b) = run_policy(&scenario, PolicyKind::SgctV1);
+    let run_a = run_policy(&scenario, PolicyKind::SgctV1);
+    let run_b = run_policy(&scenario, PolicyKind::SgctV1);
+    let (rec_a, sum_a) = (&run_a.recorder, &run_a.summary);
+    let (rec_b, sum_b) = (&run_b.recorder, &run_b.summary);
     assert_eq!(rec_a.len(), rec_b.len());
     for (a, b) in rec_a.samples().iter().zip(rec_b.samples()) {
         assert_eq!(a.p_total, b.p_total);
@@ -131,7 +138,7 @@ fn end_to_end_determinism() {
     assert_eq!(sum_a.ups_energy_wh, sum_b.ups_energy_wh);
     let mut other = scenario.clone();
     other.seed = 6;
-    let (rec_c, _) = run_policy(&other, PolicyKind::SgctV1);
+    let rec_c = run_policy(&other, PolicyKind::SgctV1).recorder;
     assert!(rec_a
         .samples()
         .iter()
@@ -160,9 +167,12 @@ fn run_level_energy_conservation() {
     let demanded: f64 = rec
         .samples()
         .iter()
-        .map(|s| (s.p_total.over(dt).0 - s.shortfall.over(dt).0))
+        .map(|s| s.p_total.over(dt).0 - s.shortfall.over(dt).0)
         .sum();
-    assert!((served - demanded).abs() < 1.0, "served {served} vs demanded {demanded}");
+    assert!(
+        (served - demanded).abs() < 1.0,
+        "served {served} vs demanded {demanded}"
+    );
     let cells = sim.feed.ups.total_cell_energy_out.0;
     let delivered = rec.ups_energy_wh();
     assert!((delivered - cells * sim.feed.ups.spec.discharge_efficiency).abs() < 0.5);

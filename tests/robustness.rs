@@ -50,7 +50,12 @@ fn constant_schedule_burst_is_protected_by_the_margin_monitor() {
     // The run must actually have entered protection (the mode label
     // appears in the event log) — otherwise this test proves nothing.
     let protected = rec
-        .events_where(|e| matches!(e, simkit::SimEvent::ModeChange("cb-protect")))
+        .events_where(|e| {
+            matches!(
+                e,
+                simkit::SimEvent::ModeChange(simkit::ModeLabel::CbProtect)
+            )
+        })
         .count();
     assert!(protected >= 1, "CbProtect must have engaged");
     // And the breaker margin never reported beyond the stop threshold
@@ -68,7 +73,8 @@ fn sprintcon_tolerates_a_degraded_power_monitor() {
     scenario.monitor_rel_sigma = 0.05; // 5% relative noise
     scenario.monitor_abs_sigma = 50.0;
     scenario.duration = Seconds::minutes(8.0);
-    let (rec, s) = run_policy(&scenario, PolicyKind::SprintCon);
+    let run = run_policy(&scenario, PolicyKind::SprintCon);
+    let (rec, s) = (&run.recorder, &run.summary);
     // The physical guarantee survives: the margins and the breaker's
     // thermal inertia absorb the sensor noise — no trips, no blackout.
     assert_eq!(s.trips, 0);
@@ -80,7 +86,10 @@ fn sprintcon_tolerates_a_degraded_power_monitor() {
         .iter()
         .filter(|x| x.cb_power.0 > x.p_cb_target.unwrap_or(Watts(1e9)).0 + 600.0)
         .count();
-    assert!(above * 50 < rec.len(), "gross excursions must be rare: {above}");
+    assert!(
+        above * 50 < rec.len(),
+        "gross excursions must be rare: {above}"
+    );
 }
 
 /// A flat (non-bursty) demand trace: the allocator gives batch the whole
