@@ -63,7 +63,7 @@ fn bench_mpc(c: &mut Criterion) {
 
 fn bench_server_controller(c: &mut Criterion) {
     let cfg = SprintConConfig::paper_default();
-    let ctrl = ServerPowerController::new(&cfg);
+    let mut ctrl = ServerPowerController::new(&cfg);
     let utils = vec![Utilization(0.6); cfg.num_servers];
     let freqs = vec![0.6; ctrl.num_channels()];
     c.bench_function("server_controller/control_period", |b| {
@@ -111,10 +111,10 @@ fn bench_allocator(c: &mut Criterion) {
 /// three printed means.
 fn bench_telemetry_overhead(c: &mut Criterion) {
     let cfg = SprintConConfig::paper_default();
-    let ctrl = ServerPowerController::new(&cfg);
+    let mut ctrl = ServerPowerController::new(&cfg);
     let utils = vec![Utilization(0.6); cfg.num_servers];
     let freqs = vec![0.6; ctrl.num_channels()];
-    let hot = |b: &mut criterion::Bencher| {
+    let mut hot = |b: &mut criterion::Bencher| {
         b.iter(|| {
             black_box(
                 ctrl.control(Watts(3800.0), &utils, Watts(1700.0), &freqs)
@@ -124,12 +124,12 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     };
 
     // Baseline: no collector installed — every telemetry call short-circuits.
-    c.bench_function("telemetry/server_control_disabled", hot);
+    c.bench_function("telemetry/server_control_disabled", &mut hot);
 
     // Null sink: metrics are recorded, sink records are dropped.
     let null = std::sync::Arc::new(telemetry::Collector::new(Box::new(telemetry::NullSink)));
     telemetry::with_collector(std::sync::Arc::clone(&null), || {
-        c.bench_function("telemetry/server_control_null_sink", hot);
+        c.bench_function("telemetry/server_control_null_sink", &mut hot);
     });
 
     // Memory ring sink: the most a bounded in-process sink can cost.
@@ -137,7 +137,7 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
         telemetry::MemorySink::new(4096),
     )));
     telemetry::with_collector(ring, || {
-        c.bench_function("telemetry/server_control_memory_sink", hot);
+        c.bench_function("telemetry/server_control_memory_sink", &mut hot);
     });
 }
 

@@ -27,7 +27,7 @@ fn rack(cfg: &SprintConConfig) -> Rack {
 
 /// Run a 1.3→1.9 kW step and report (settling steps to 5%, overshoot W).
 fn step_response(cfg: &SprintConConfig) -> (usize, f64) {
-    let ctrl = ServerPowerController::new(cfg);
+    let mut ctrl = ServerPowerController::new(cfg);
     let mut rk = rack(cfg);
     let utils = rk.interactive_util_vector();
     let mut freqs: Vec<f64> = rk

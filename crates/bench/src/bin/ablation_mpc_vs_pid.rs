@@ -69,7 +69,7 @@ fn main() {
     println!("achievable feedback-power range: {lo:.0} .. {hi:.0} W");
 
     // --- MPC (the paper's design) ---
-    let ctrl = ServerPowerController::new(&cfg);
+    let mut ctrl = ServerPowerController::new(&cfg);
     let mut rk = rack(&cfg);
     let utils = rk.interactive_util_vector();
     let mut mpc_err = Vec::new();

@@ -69,8 +69,7 @@ pub fn allocate_power_bids(
     order.sort_by(|&a, &b| {
         bids[b]
             .value()
-            .partial_cmp(&bids[a].value())
-            .expect("NaN bid")
+            .total_cmp(&bids[a].value())
             .then(bids[a].core.cmp(&bids[b].core))
     });
     let mut freqs: Vec<(usize, f64)> = bids.iter().map(|b| (b.core, f_floor)).collect();

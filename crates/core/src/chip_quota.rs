@@ -51,9 +51,10 @@ pub fn divide_quota(
             let crit = weights
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(&a.0)))
+                .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
                 .map(|(i, _)| i)
-                .unwrap();
+                // `weights` is non-empty: `n >= 1` is asserted at entry.
+                .expect("non-empty weights");
             if n == 1 {
                 return vec![feasible];
             }
@@ -72,7 +73,9 @@ pub fn divide_quota(
                 if i == crit {
                     out.push(crit_f);
                 } else {
-                    out.push(it.next().unwrap());
+                    // `rest` has exactly `n − 1` entries, one per
+                    // non-critical core.
+                    out.push(it.next().expect("one fill level per core"));
                 }
             }
             out

@@ -76,7 +76,130 @@ pub struct SprintConConfig {
     /// UPS state-of-charge fraction below which the supervisor enters
     /// energy-conservation mode.
     pub soc_reserve: f64,
+
+    // --- degraded-mode operation (sensor-fault tolerance) ---
+    /// How long the supervisor may hold the last good power reading when
+    /// the monitor misbehaves before switching to a model-based estimate.
+    pub measurement_hold_max: Seconds,
+    /// Subtracted from `trip_margin_stop` while the power sensor is
+    /// faulty: with degraded feedback the supervisor stops overloading
+    /// the breaker earlier.
+    pub guard_band_widen: f64,
+    /// Consecutive bit-identical readings (beyond the first) after which
+    /// the sensor is declared stuck. Gaussian monitor noise makes exact
+    /// repeats vanishingly rare on a healthy sensor.
+    pub stuck_sensor_periods: u32,
+    /// Readings above this are physically implausible for the plant and
+    /// rejected as sensor spikes.
+    pub spike_reject_above: Watts,
+    /// Sustained blind operation bound: if no trustworthy reading has
+    /// arrived for this long, the sprint is ended outright.
+    pub blind_sprint_end: Seconds,
 }
+
+/// Why a [`SprintConConfig`] failed validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    NoServers,
+    TooManyInteractiveCores {
+        interactive: usize,
+        cores: usize,
+    },
+    /// "overload degree must exceed 1".
+    NonOverloadDegree(f64),
+    NonPositiveScheduleDurations,
+    InvalidTripMarginStop(f64),
+    NonPositiveControlPeriod(f64),
+    /// "allocator must run much slower than the controller (§V-C)".
+    AllocatorTooFast {
+        allocator_period: Seconds,
+        control_period: Seconds,
+    },
+    InvalidPressureBand {
+        low: f64,
+        high: f64,
+    },
+    InvalidTrimStep(f64),
+    InvalidDeadlineMargin(f64),
+    InvalidCbTargetMargin(f64),
+    InvalidCbRecoveryMargin {
+        recovery: f64,
+        target: f64,
+    },
+    InvalidSocReserve(f64),
+    /// "planned overload duration exceeds the trip curve".
+    OverloadBeyondTripCurve {
+        planned: Seconds,
+        trip: Seconds,
+    },
+    InvalidDegradedMode(&'static str),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoServers => write!(f, "at least one server is required"),
+            ConfigError::TooManyInteractiveCores { interactive, cores } => write!(
+                f,
+                "{interactive} interactive cores do not fit a {cores}-core server"
+            ),
+            ConfigError::NonOverloadDegree(d) => {
+                write!(f, "overload degree must exceed 1, got {d}")
+            }
+            ConfigError::NonPositiveScheduleDurations => {
+                write!(f, "overload/recovery durations must be positive")
+            }
+            ConfigError::InvalidTripMarginStop(m) => {
+                write!(f, "trip_margin_stop must be in [0, 1], got {m}")
+            }
+            ConfigError::NonPositiveControlPeriod(p) => {
+                write!(f, "control period must be positive, got {p}")
+            }
+            ConfigError::AllocatorTooFast {
+                allocator_period,
+                control_period,
+            } => write!(
+                f,
+                "allocator must run much slower than the controller (§V-C): \
+                 allocator period {allocator_period} vs control period {control_period}"
+            ),
+            ConfigError::InvalidPressureBand { low, high } => {
+                write!(
+                    f,
+                    "pressure thresholds must satisfy 0 ≤ low < high ≤ 1, got {low}/{high}"
+                )
+            }
+            ConfigError::InvalidTrimStep(s) => {
+                write!(f, "p_batch trim step must be in (0, 1), got {s}")
+            }
+            ConfigError::InvalidDeadlineMargin(m) => {
+                write!(f, "deadline margin must be ≥ 1, got {m}")
+            }
+            ConfigError::InvalidCbTargetMargin(m) => {
+                write!(
+                    f,
+                    "cb target margin must be a small undershoot in [0.9, 1], got {m}"
+                )
+            }
+            ConfigError::InvalidCbRecoveryMargin { recovery, target } => write!(
+                f,
+                "recovery margin must undershoot at least as deeply: {recovery} vs {target}"
+            ),
+            ConfigError::InvalidSocReserve(r) => {
+                write!(f, "soc reserve must be in [0, 0.5), got {r}")
+            }
+            ConfigError::OverloadBeyondTripCurve { planned, trip } => write!(
+                f,
+                "planned overload duration exceeds the trip curve: {planned} > {trip}"
+            ),
+            ConfigError::InvalidDegradedMode(what) => {
+                write!(f, "degraded-mode config invalid: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 impl SprintConConfig {
     /// The paper's evaluation setup (§VI-A), end to end.
@@ -103,6 +226,13 @@ impl SprintConConfig {
             cb_target_margin: 0.99,
             cb_recovery_margin: 0.98,
             soc_reserve: 0.03,
+            measurement_hold_max: Seconds(5.0),
+            guard_band_widen: 0.15,
+            stuck_sensor_periods: 5,
+            // Twice the overloaded rack power: no legitimate reading of
+            // the §VI-A plant (≲ 5 kW) ever comes close.
+            spike_reject_above: Watts(8000.0),
+            blind_sprint_end: Seconds(30.0),
         }
     }
 
@@ -131,40 +261,100 @@ impl SprintConConfig {
         Watts(self.breaker.rated.0 * self.overload_degree)
     }
 
-    /// Panics on inconsistent settings; call once at construction.
-    pub fn validate(&self) {
-        assert!(self.num_servers > 0);
-        assert!(self.interactive_cores_per_server <= self.server.num_cores);
-        assert!(self.overload_degree > 1.0, "overload degree must exceed 1");
-        assert!(self.overload_duration.0 > 0.0 && self.recovery_duration.0 > 0.0);
-        assert!((0.0..=1.0).contains(&self.trip_margin_stop));
-        assert!(self.control_period.0 > 0.0);
-        assert!(
-            self.allocator_period.0 >= 10.0 * self.control_period.0,
-            "allocator must run much slower than the controller (§V-C)"
-        );
-        assert!((0.0..1.0).contains(&self.inter_pressure_low));
-        assert!(
-            self.inter_pressure_low < self.inter_pressure_high && self.inter_pressure_high <= 1.0
-        );
-        assert!(self.p_batch_trim_step > 0.0 && self.p_batch_trim_step < 1.0);
-        assert!(self.deadline_margin >= 1.0);
-        assert!(
-            (0.9..=1.0).contains(&self.cb_target_margin),
-            "cb target margin must be a small undershoot"
-        );
-        assert!(
-            (0.9..=1.0).contains(&self.cb_recovery_margin)
-                && self.cb_recovery_margin <= self.cb_target_margin,
-            "recovery margin must undershoot at least as deeply"
-        );
-        assert!((0.0..0.5).contains(&self.soc_reserve));
+    /// Check every structural constraint; [`crate::SprintCon::try_new`]
+    /// calls this once at construction.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_servers == 0 {
+            return Err(ConfigError::NoServers);
+        }
+        if self.interactive_cores_per_server > self.server.num_cores {
+            return Err(ConfigError::TooManyInteractiveCores {
+                interactive: self.interactive_cores_per_server,
+                cores: self.server.num_cores,
+            });
+        }
+        if self.overload_degree <= 1.0 {
+            return Err(ConfigError::NonOverloadDegree(self.overload_degree));
+        }
+        if !(self.overload_duration.0 > 0.0 && self.recovery_duration.0 > 0.0) {
+            return Err(ConfigError::NonPositiveScheduleDurations);
+        }
+        if !(0.0..=1.0).contains(&self.trip_margin_stop) {
+            return Err(ConfigError::InvalidTripMarginStop(self.trip_margin_stop));
+        }
+        if self.control_period.0 <= 0.0 {
+            return Err(ConfigError::NonPositiveControlPeriod(self.control_period.0));
+        }
+        if self.allocator_period.0 < 10.0 * self.control_period.0 {
+            return Err(ConfigError::AllocatorTooFast {
+                allocator_period: self.allocator_period,
+                control_period: self.control_period,
+            });
+        }
+        if !(0.0..1.0).contains(&self.inter_pressure_low)
+            || self.inter_pressure_low >= self.inter_pressure_high
+            || self.inter_pressure_high > 1.0
+        {
+            return Err(ConfigError::InvalidPressureBand {
+                low: self.inter_pressure_low,
+                high: self.inter_pressure_high,
+            });
+        }
+        if !(self.p_batch_trim_step > 0.0 && self.p_batch_trim_step < 1.0) {
+            return Err(ConfigError::InvalidTrimStep(self.p_batch_trim_step));
+        }
+        if self.deadline_margin < 1.0 {
+            return Err(ConfigError::InvalidDeadlineMargin(self.deadline_margin));
+        }
+        if !(0.9..=1.0).contains(&self.cb_target_margin) {
+            return Err(ConfigError::InvalidCbTargetMargin(self.cb_target_margin));
+        }
+        if !(0.9..=1.0).contains(&self.cb_recovery_margin)
+            || self.cb_recovery_margin > self.cb_target_margin
+        {
+            return Err(ConfigError::InvalidCbRecoveryMargin {
+                recovery: self.cb_recovery_margin,
+                target: self.cb_target_margin,
+            });
+        }
+        if !(0.0..0.5).contains(&self.soc_reserve) {
+            return Err(ConfigError::InvalidSocReserve(self.soc_reserve));
+        }
         // The planned overload must stay under the trip curve with margin.
         let trip = self.breaker.trip_time(self.overload_degree);
-        assert!(
-            self.overload_duration.0 <= trip.0,
-            "planned overload duration exceeds the trip curve"
-        );
+        if self.overload_duration.0 > trip.0 {
+            return Err(ConfigError::OverloadBeyondTripCurve {
+                planned: self.overload_duration,
+                trip,
+            });
+        }
+        // Degraded-mode ladder: each rung must engage after the previous.
+        if !(self.measurement_hold_max.0 >= 0.0 && self.measurement_hold_max.0.is_finite()) {
+            return Err(ConfigError::InvalidDegradedMode(
+                "measurement_hold_max must be finite and non-negative",
+            ));
+        }
+        if self.blind_sprint_end.0 < self.measurement_hold_max.0 {
+            return Err(ConfigError::InvalidDegradedMode(
+                "blind_sprint_end must not precede measurement_hold_max",
+            ));
+        }
+        if !(0.0..=self.trip_margin_stop).contains(&self.guard_band_widen) {
+            return Err(ConfigError::InvalidDegradedMode(
+                "guard_band_widen must be in [0, trip_margin_stop]",
+            ));
+        }
+        if self.stuck_sensor_periods < 2 {
+            return Err(ConfigError::InvalidDegradedMode(
+                "stuck_sensor_periods must be at least 2",
+            ));
+        }
+        if self.spike_reject_above.0 <= self.overloaded().0 {
+            return Err(ConfigError::InvalidDegradedMode(
+                "spike_reject_above must exceed the planned overloaded power",
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -175,7 +365,7 @@ mod tests {
     #[test]
     fn paper_default_is_consistent() {
         let c = SprintConConfig::paper_default();
-        c.validate();
+        c.validate().expect("paper default must validate");
         assert_eq!(c.total_batch_cores(), 64);
         assert_eq!(c.total_interactive_cores(), 64);
         assert_eq!(c.rated(), Watts(3200.0));
@@ -183,26 +373,45 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "allocator must run much slower")]
     fn rejects_fast_allocator() {
         let mut c = SprintConConfig::paper_default();
         c.allocator_period = Seconds(2.0);
-        c.validate();
+        let err = c.validate().unwrap_err();
+        assert!(matches!(err, ConfigError::AllocatorTooFast { .. }));
+        assert!(err.to_string().contains("allocator must run much slower"));
     }
 
     #[test]
-    #[should_panic(expected = "exceeds the trip curve")]
     fn rejects_overload_beyond_trip_curve() {
         let mut c = SprintConConfig::paper_default();
         c.overload_duration = Seconds(151.0);
-        c.validate();
+        let err = c.validate().unwrap_err();
+        assert!(matches!(err, ConfigError::OverloadBeyondTripCurve { .. }));
+        assert!(err.to_string().contains("exceeds the trip curve"));
     }
 
     #[test]
-    #[should_panic(expected = "overload degree")]
     fn rejects_non_overload() {
         let mut c = SprintConConfig::paper_default();
         c.overload_degree = 1.0;
-        c.validate();
+        let err = c.validate().unwrap_err();
+        assert!(matches!(err, ConfigError::NonOverloadDegree(_)));
+        assert!(err.to_string().contains("overload degree"));
+    }
+
+    #[test]
+    fn rejects_inverted_degradation_ladder() {
+        let mut c = SprintConConfig::paper_default();
+        c.blind_sprint_end = Seconds(1.0); // < measurement_hold_max
+        assert!(matches!(
+            c.validate().unwrap_err(),
+            ConfigError::InvalidDegradedMode(_)
+        ));
+        let mut c = SprintConConfig::paper_default();
+        c.spike_reject_above = Watts(3000.0); // below overloaded power
+        assert!(matches!(
+            c.validate().unwrap_err(),
+            ConfigError::InvalidDegradedMode(_)
+        ));
     }
 }

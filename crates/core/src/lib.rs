@@ -49,6 +49,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod allocator;
 pub mod bidding;
@@ -61,7 +62,7 @@ pub mod ups_controller;
 pub use allocator::{AllocatorTargets, CbScheduler, PowerLoadAllocator, ScheduleKind};
 pub use bidding::{allocate_power_bids, BidAllocation, PowerBid};
 pub use chip_quota::{divide_quota, QuotaPolicy};
-pub use config::SprintConConfig;
+pub use config::{ConfigError, SprintConConfig};
 pub use server_controller::ServerPowerController;
 pub use supervisor::{SprintCon, SprintConInputs, SprintConOutputs, SprintMode};
 pub use ups_controller::UpsPowerController;

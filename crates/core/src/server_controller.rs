@@ -6,6 +6,8 @@ use powersim::cpu::FreqScale;
 use powersim::server::{InteractivePowerModel, LinearServerModel};
 use powersim::units::{NormFreq, Seconds, Utilization, Watts};
 use sprint_control::mpc::{MpcController, MpcDecision};
+use sprint_control::pid::{Pid, PidConfig};
+use sprint_control::qp::QpSolution;
 use workloads::batch::BatchJob;
 
 /// MPC-based server power controller for one rack.
@@ -21,6 +23,14 @@ pub struct ServerPowerController {
     num_servers: usize,
     /// The DVFS ladder the commands will be snapped to.
     freq_scale: FreqScale,
+    /// Classical fallback loop: takes over when the QP would see a
+    /// non-finite input (degradation-ladder rung 3).
+    fallback_pid: Pid,
+    /// Last finite feedback power, fed to the PID when the live value
+    /// is unusable.
+    last_finite_p_fb: f64,
+    /// Was the fallback active last period (reset-on-recovery edge)?
+    fallback_was_active: bool,
 }
 
 impl ServerPowerController {
@@ -43,6 +53,19 @@ impl ServerPowerController {
             .collect();
         let fmin = vec![cfg.server.freq_scale.min.0; n];
         let fmax = vec![cfg.server.freq_scale.max.0; n];
+        // Fallback PID: a scalar loop on the aggregate batch power, with
+        // the plant gain Σk divided out so a unit error nudges the uniform
+        // frequency by ~0.5 steps per period (conservative, well inside
+        // the stability margin of the first-order Eq. (2) plant).
+        let k_total: f64 = batch_models.iter().map(|bm| bm.k).sum();
+        let fallback_pid = Pid::new(PidConfig {
+            kp: 0.5 / k_total,
+            ki: 0.25 / k_total,
+            kd: 0.0,
+            out_min: cfg.server.freq_scale.min.0,
+            out_max: cfg.server.freq_scale.max.0,
+            period: cfg.control_period.0,
+        });
         ServerPowerController {
             mpc: MpcController::new(cfg.mpc, gains, fmin, fmax),
             inter_models,
@@ -50,6 +73,9 @@ impl ServerPowerController {
             batch_cores_per_server: m,
             num_servers: cfg.num_servers,
             freq_scale: cfg.server.freq_scale,
+            fallback_pid,
+            last_finite_p_fb: 0.0,
+            fallback_was_active: false,
         }
     }
 
@@ -127,18 +153,73 @@ impl ServerPowerController {
     /// One control period (the 4-step loop of §IV-C): take the measured
     /// total power and utilizations, derive feedback, and return new
     /// frequency commands for every batch core.
+    ///
+    /// If any input the QP would consume is non-finite (sensor dropout
+    /// that slipped past the supervisor, corrupted frequency readback),
+    /// the MPC is bypassed for a scalar PID on the last finite feedback
+    /// power — degradation-ladder rung 3. The transition is counted in
+    /// the `server_ctrl_pid_fallback` telemetry counter.
     pub fn control(
-        &self,
+        &mut self,
         p_total: Watts,
         utils: &[Utilization],
         p_batch_target: Watts,
         current_freqs: &[f64],
     ) -> MpcDecision {
         let _timer = telemetry::span("server_controller_control");
+        // Check p_total itself: `feedback_power` floors at zero via
+        // f64::max, which silently maps NaN to 0.0 and would hide the
+        // fault from the QP.
+        let inputs_finite = p_total.is_finite()
+            && p_batch_target.0.is_finite()
+            && utils.iter().all(|u| u.0.is_finite())
+            && current_freqs.iter().all(|f| f.is_finite());
+        if !inputs_finite {
+            return self.control_pid_fallback(p_batch_target);
+        }
+        if self.fallback_was_active {
+            // Recovered: the QP warm-starts from current_freqs on its
+            // own, but the PID must not carry stale integral state into
+            // the next outage.
+            self.fallback_pid.reset();
+            self.fallback_was_active = false;
+        }
         let p_fb = self.feedback_power(p_total, utils);
+        self.last_finite_p_fb = p_fb.0;
         let mut decision = self.mpc.compute(p_fb.0, p_batch_target.0, current_freqs);
         self.quantize_with_diffusion(&mut decision.freqs);
         decision
+    }
+
+    /// Rung-3 fallback: uniform-frequency PID on the aggregate batch
+    /// power. Deliberately does NOT call `mpc.compute`, so QP telemetry
+    /// (`qp_solve_total`) keeps counting real solves only.
+    fn control_pid_fallback(&mut self, p_batch_target: Watts) -> MpcDecision {
+        telemetry::counter_add("server_ctrl_pid_fallback", 1);
+        self.fallback_was_active = true;
+        let target = if p_batch_target.0.is_finite() {
+            p_batch_target.0.max(0.0)
+        } else {
+            0.0
+        };
+        let f = self.fallback_pid.step(target, self.last_finite_p_fb);
+        let mut freqs = vec![f; self.num_channels()];
+        self.quantize_with_diffusion(&mut freqs);
+        let predicted_power = self.model_predicted_batch_power(&freqs).0;
+        // Open-loop estimate: assume the plant lands where the model
+        // says, so consecutive blind periods don't integrate on a frozen
+        // measurement.
+        self.last_finite_p_fb = predicted_power;
+        MpcDecision {
+            freqs,
+            predicted_power,
+            qp: QpSolution {
+                x: vec![],
+                kkt_residual: 0.0,
+                iterations: 0,
+                converged: false,
+            },
+        }
     }
 
     pub fn num_channels(&self) -> usize {
@@ -192,7 +273,7 @@ mod tests {
         // The full loop of §V: MPC designed on the linear model, driving
         // the Horvath–Skadron plant with busy interactive cores.
         let c = cfg();
-        let ctrl = ServerPowerController::new(&c);
+        let mut ctrl = ServerPowerController::new(&c);
         let mut rk = rack(&c);
         for id in rk.cores_with_role(CoreRole::Interactive) {
             rk.set_util(id, Utilization(0.65));
@@ -216,7 +297,7 @@ mod tests {
     #[test]
     fn unreachable_budget_pins_batch_at_peak() {
         let c = cfg();
-        let ctrl = ServerPowerController::new(&c);
+        let mut ctrl = ServerPowerController::new(&c);
         let mut rk = rack(&c);
         for id in rk.cores_with_role(CoreRole::Batch) {
             rk.set_util(id, Utilization(0.95));
@@ -234,7 +315,7 @@ mod tests {
     #[test]
     fn tiny_budget_pins_batch_at_floor() {
         let c = cfg();
-        let ctrl = ServerPowerController::new(&c);
+        let mut ctrl = ServerPowerController::new(&c);
         let mut rk = rack(&c);
         for id in rk.cores_with_role(CoreRole::Batch) {
             rk.set_util(id, Utilization(0.95));
@@ -302,6 +383,41 @@ mod tests {
             fs[0],
             others_mean
         );
+    }
+
+    #[test]
+    fn nan_measurement_falls_back_to_pid_and_stays_in_range() {
+        let c = cfg();
+        let mut ctrl = ServerPowerController::new(&c);
+        let utils = vec![Utilization(0.5); c.num_servers];
+        let n = ctrl.num_channels();
+        // Prime the fallback state with one healthy period.
+        let healthy = ctrl.control(Watts(4200.0), &utils, Watts(1700.0), &vec![0.6; n]);
+        assert!(healthy.qp.converged, "nominal path must run the QP");
+        // Sensor dropout: NaN total power must never reach the QP.
+        let mut freqs = healthy.freqs.clone();
+        for _ in 0..20 {
+            let d = ctrl.control(Watts(f64::NAN), &utils, Watts(1700.0), &freqs);
+            assert!(!d.qp.converged, "fallback must not fabricate a QP solve");
+            assert!(d.qp.iterations == 0 && d.qp.x.is_empty());
+            assert!(d.freqs.iter().all(|f| f.is_finite()));
+            for &f in &d.freqs {
+                let (lo, hi) = (c.server.freq_scale.min.0, c.server.freq_scale.max.0);
+                assert!((lo - 1e-9..=hi + 1e-9).contains(&f), "f={f}");
+            }
+            assert!(d.predicted_power.is_finite());
+            freqs = d.freqs;
+        }
+        // Blind tracking: the open-loop PID should settle near the target
+        // according to its own model.
+        let blind = ctrl.model_predicted_batch_power(&freqs).0;
+        assert!(
+            (blind - 1700.0).abs() < 250.0,
+            "blind model power {blind} should approach 1700"
+        );
+        // Recovery: finite inputs go straight back through the MPC.
+        let back = ctrl.control(Watts(4200.0), &utils, Watts(1700.0), &freqs);
+        assert!(back.qp.converged, "recovered path must use the QP again");
     }
 
     #[test]

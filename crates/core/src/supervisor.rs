@@ -13,7 +13,7 @@
 //!   breaker capacity with no UPS support.
 
 use crate::allocator::PowerLoadAllocator;
-use crate::config::SprintConConfig;
+use crate::config::{ConfigError, SprintConConfig};
 use crate::server_controller::ServerPowerController;
 use crate::ups_controller::UpsPowerController;
 use powersim::units::{NormFreq, Seconds, Utilization, Watts};
@@ -100,14 +100,26 @@ pub struct SprintCon {
     now: Seconds,
     /// Interactive throttle state used in conservation modes.
     inter_freq: NormFreq,
+    // --- degradation-ladder state (sensor-fault tolerance) ---
+    /// Last reading that passed the plausibility checks.
+    last_good_p_total: Option<Watts>,
+    /// Previous raw reading (stuck-sensor detection).
+    last_raw_p_total: Option<Watts>,
+    /// Consecutive bit-identical raw readings beyond the first.
+    repeat_run: u32,
+    /// How long the supervisor has been without a trustworthy reading.
+    stale_for: Seconds,
+    /// Was the sensor considered faulty last period (guard-band edge)?
+    sensor_degraded: bool,
 }
 
 impl SprintCon {
-    pub fn new(cfg: SprintConConfig) -> Self {
-        cfg.validate();
+    /// Validate `cfg` and build the full control system.
+    pub fn try_new(cfg: SprintConConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let server_ctrl = ServerPowerController::new(&cfg);
         let allocator = PowerLoadAllocator::new(&cfg, server_ctrl.batch_models().to_vec());
-        SprintCon {
+        Ok(SprintCon {
             allocator,
             server_ctrl,
             ups_ctrl: UpsPowerController::new(0.0),
@@ -115,7 +127,18 @@ impl SprintCon {
             now: Seconds::ZERO,
             inter_freq: NormFreq::PEAK,
             cfg,
-        }
+            last_good_p_total: None,
+            last_raw_p_total: None,
+            repeat_run: 0,
+            stale_for: Seconds::ZERO,
+            sensor_degraded: false,
+        })
+    }
+
+    /// Build the control system, panicking on an invalid config; code
+    /// taking configuration from outside should prefer [`Self::try_new`].
+    pub fn new(cfg: SprintConConfig) -> Self {
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("invalid SprintCon config: {e}"))
     }
 
     pub fn mode(&self) -> SprintMode {
@@ -131,9 +154,81 @@ impl SprintCon {
         &self.server_ctrl
     }
 
-    fn update_mode(&mut self, inputs: &SprintConInputs<'_>) {
-        let cb_stressed =
-            !inputs.breaker_closed || inputs.breaker_margin >= self.cfg.trip_margin_stop;
+    /// Degradation-ladder rungs 1–2: classify the raw measurement and
+    /// replace it when the sensor misbehaves — hold the last good reading
+    /// within the staleness deadline, then fall back to `p_model_est`
+    /// (interactive model + batch model, the best open-loop estimate).
+    /// Returns the value the controllers should consume and whether the
+    /// sensor is currently considered faulty.
+    fn sanitize_p_total(&mut self, raw: Watts, dt: Seconds, p_model_est: Watts) -> (Watts, bool) {
+        let fault: Option<&'static str> = if !raw.is_finite() {
+            Some("dropout")
+        } else {
+            if self.last_raw_p_total == Some(raw) {
+                self.repeat_run += 1;
+            } else {
+                self.repeat_run = 0;
+                self.last_raw_p_total = Some(raw);
+            }
+            if self.repeat_run >= self.cfg.stuck_sensor_periods {
+                Some("stuck_sensor")
+            } else if raw.0 > self.cfg.spike_reject_above.0 {
+                Some("spike_rejected")
+            } else {
+                None
+            }
+        };
+        match fault {
+            None => {
+                self.last_good_p_total = Some(raw);
+                self.stale_for = Seconds::ZERO;
+                (raw, false)
+            }
+            Some(kind) => {
+                self.stale_for += dt;
+                telemetry::counter_add("degraded.measurement_hold", 1);
+                if telemetry::enabled() {
+                    telemetry::counter_add(&format!("degraded.{kind}"), 1);
+                }
+                let held = if self.stale_for.0 <= self.cfg.measurement_hold_max.0 {
+                    self.last_good_p_total
+                } else {
+                    None
+                };
+                let value = match held {
+                    Some(v) => v,
+                    None => {
+                        // Past the staleness deadline (or faulty from the
+                        // very first period): the model estimate is the
+                        // only feedback left. It misses the fan draw,
+                        // which the widened guard band absorbs.
+                        telemetry::counter_add("degraded.stale_fallback", 1);
+                        p_model_est
+                    }
+                };
+                (value, true)
+            }
+        }
+    }
+
+    fn update_mode(&mut self, inputs: &SprintConInputs<'_>, sensor_faulty: bool) {
+        // Rung 4: sustained blind operation — no trustworthy reading for
+        // longer than the blind bound. End the sprint rather than keep
+        // overloading a breaker nobody is watching.
+        if self.stale_for.0 > self.cfg.blind_sprint_end.0 && self.mode != SprintMode::Ended {
+            telemetry::counter_add("degraded.sprint_ended_blind", 1);
+            self.mode = SprintMode::Ended;
+            return;
+        }
+        // Rung 2 (guard band): while the sensor is faulty, stop
+        // overloading earlier — held/estimated feedback deserves less
+        // trust near the trip budget.
+        let stop = if sensor_faulty {
+            self.cfg.trip_margin_stop - self.cfg.guard_band_widen
+        } else {
+            self.cfg.trip_margin_stop
+        };
+        let cb_stressed = !inputs.breaker_closed || inputs.breaker_margin >= stop;
         let ups_low = inputs.ups_soc <= self.cfg.soc_reserve;
         self.mode = match (self.mode, cb_stressed, ups_low) {
             (SprintMode::Ended, _, _) => SprintMode::Ended,
@@ -164,22 +259,33 @@ impl SprintCon {
         assert_eq!(inputs.jobs.len(), self.server_ctrl.num_channels());
         self.now += dt;
 
-        // Feed the allocator its per-period interactive power estimate
-        // and the feedback-vs-model bias, then advance its schedule.
+        // Sanitize the power measurement first: everything downstream —
+        // allocator bias, MPC feedback, UPS deadbeat law — consumes the
+        // sanitized value. On a healthy sensor it is bit-identical to the
+        // raw reading.
         let p_inter = self.server_ctrl.interactive_power(inputs.interactive_util);
-        self.allocator.observe_interactive_power(p_inter);
-        let p_fb = self
-            .server_ctrl
-            .feedback_power(inputs.p_total, inputs.interactive_util);
         let predicted = self
             .server_ctrl
             .model_predicted_batch_power(inputs.batch_freqs);
+        let p_model_est = Watts(p_inter.0 + predicted.0);
+        let (p_use, sensor_faulty) = self.sanitize_p_total(inputs.p_total, dt, p_model_est);
+        if sensor_faulty && !self.sensor_degraded {
+            telemetry::counter_add("degraded.guard_band_widened", 1);
+        }
+        self.sensor_degraded = sensor_faulty;
+
+        // Feed the allocator its per-period interactive power estimate
+        // and the feedback-vs-model bias, then advance its schedule.
+        self.allocator.observe_interactive_power(p_inter);
+        let p_fb = self
+            .server_ctrl
+            .feedback_power(p_use, inputs.interactive_util);
         self.allocator.observe_feedback_bias(p_fb, predicted);
         self.allocator
             .advance(self.now, dt, inputs.breaker_margin, inputs.jobs);
 
         let prev_mode = self.mode;
-        self.update_mode(&inputs);
+        self.update_mode(&inputs, sensor_faulty);
         if self.mode != prev_mode {
             if telemetry::enabled() {
                 telemetry::counter_add("supervisor_mode_transitions", 1);
@@ -220,7 +326,7 @@ impl SprintCon {
                 let p_cb = targets.p_cb;
                 let p_batch = targets.p_batch;
                 let decision = self.server_ctrl.control(
-                    inputs.p_total,
+                    p_use,
                     inputs.interactive_util,
                     p_batch,
                     inputs.batch_freqs,
@@ -231,7 +337,7 @@ impl SprintCon {
                     self.cfg.cb_recovery_margin
                 };
                 let ups = match p_cb {
-                    Some(target) => self.ups_ctrl.control(inputs.p_total, target * margin),
+                    Some(target) => self.ups_ctrl.control(p_use, target * margin),
                     None => Watts::ZERO,
                 };
                 self.inter_freq = NormFreq::PEAK;
@@ -258,14 +364,14 @@ impl SprintCon {
                 let fmin = self.cfg.server.freq_scale.min;
                 let batch_freqs = vec![fmin.0; self.server_ctrl.num_channels()];
                 let p_inter_est = p_inter.0.max(1.0);
-                let excess = inputs.p_total.0 - budget.0;
+                let excess = p_use.0 - budget.0;
                 let scale = 1.0 - excess / p_inter_est;
                 let f_new = (self.inter_freq.0 * scale.clamp(0.5, 1.05)).clamp(fmin.0, 1.0);
                 self.inter_freq = NormFreq(f_new);
                 // A residual trickle of UPS discharge covers what the
                 // throttle has not yet absorbed (the battery clamps it
                 // once truly empty).
-                let ups = self.ups_ctrl.control(inputs.p_total, budget);
+                let ups = self.ups_ctrl.control(p_use, budget);
                 SprintConOutputs {
                     batch_freqs,
                     interactive_freq: self.inter_freq,
@@ -390,7 +496,7 @@ mod tests {
     #[test]
     fn mode_change_resets_ups_filter() {
         let c = cfg();
-        c.validate();
+        c.validate().expect("paper default is valid");
         let mut sc = SprintCon::new(c);
         sc.ups_ctrl = UpsPowerController::new(0.8);
         // Build up filter state while sprinting.
@@ -409,5 +515,110 @@ mod tests {
             step_once(&mut sc, 0.1, true, 1.0);
         }
         assert_eq!(sc.now(), Seconds(10.0));
+    }
+
+    /// Like `step_once`, but with an arbitrary power-monitor reading.
+    fn step_with_p(
+        sc: &mut SprintCon,
+        p_total: Watts,
+        margin: f64,
+        closed: bool,
+        soc: f64,
+    ) -> SprintConOutputs {
+        let n = sc.server_controller().num_channels();
+        let utils = vec![Utilization(0.6); sc.cfg.num_servers];
+        let freqs = vec![0.6; n];
+        let js = jobs(n);
+        sc.step(
+            Seconds(1.0),
+            SprintConInputs {
+                p_total,
+                interactive_util: &utils,
+                batch_freqs: &freqs,
+                jobs: &js,
+                breaker_margin: margin,
+                breaker_closed: closed,
+                ups_soc: soc,
+            },
+        )
+    }
+
+    #[test]
+    fn dropout_holds_last_good_then_ends_the_sprint_blind() {
+        let mut sc = SprintCon::new(cfg());
+        let healthy = step_with_p(&mut sc, Watts(4200.0), 0.1, true, 1.0);
+        assert!((healthy.ups_discharge.0 - 240.0).abs() < 1e-9);
+        // First dropout period: the held reading reproduces the healthy
+        // command exactly (rung 1).
+        let held = step_with_p(&mut sc, Watts(f64::NAN), 0.1, true, 1.0);
+        assert_eq!(held.mode, SprintMode::Sprinting);
+        assert!((held.ups_discharge.0 - 240.0).abs() < 1e-9);
+        // Sustained blindness: past `blind_sprint_end` (30 s) the
+        // supervisor ends the sprint rather than overload unwatched
+        // (rung 4). Every output stays finite throughout.
+        let mut ended_at = None;
+        for i in 2..45 {
+            let out = step_with_p(&mut sc, Watts(f64::NAN), 0.1, true, 1.0);
+            assert!(out.ups_discharge.is_finite());
+            assert!(out.batch_freqs.iter().all(|f| f.is_finite()));
+            if out.mode == SprintMode::Ended {
+                ended_at = Some(i);
+                break;
+            }
+        }
+        let ended_at = ended_at.expect("blind sprint must end");
+        assert!(
+            (31..=32).contains(&ended_at),
+            "ended after {ended_at} blind periods, expected ~31"
+        );
+    }
+
+    #[test]
+    fn guard_band_widens_while_the_sensor_is_faulty() {
+        // Margin 0.85 is safe with a healthy sensor (stop = 0.95)…
+        let mut sc = SprintCon::new(cfg());
+        let out = step_with_p(&mut sc, Watts(4200.0), 0.85, true, 1.0);
+        assert_eq!(out.mode, SprintMode::Sprinting);
+        // …but inside the widened band (0.95 − 0.15 = 0.80) during a
+        // dropout: the supervisor stops overloading early (rung 2).
+        let out = step_with_p(&mut sc, Watts(f64::NAN), 0.85, true, 1.0);
+        assert_eq!(out.mode, SprintMode::CbProtect);
+        // Sensor back, breaker cooled: normal operation resumes.
+        let out = step_with_p(&mut sc, Watts(4210.0), 0.1, true, 1.0);
+        assert_eq!(out.mode, SprintMode::Sprinting);
+    }
+
+    #[test]
+    fn implausible_spikes_are_rejected_not_acted_on() {
+        let mut sc = SprintCon::new(cfg());
+        let healthy = step_with_p(&mut sc, Watts(4200.0), 0.1, true, 1.0);
+        // A 25 kW reading (above `spike_reject_above`) would demand a
+        // huge UPS discharge; instead the held value keeps the command
+        // where the healthy one was.
+        let spiked = step_with_p(&mut sc, Watts(25_000.0), 0.1, true, 1.0);
+        assert_eq!(spiked.mode, SprintMode::Sprinting);
+        assert!(
+            (spiked.ups_discharge.0 - healthy.ups_discharge.0).abs() < 1e-9,
+            "spike leaked into the UPS command: {} vs {}",
+            spiked.ups_discharge,
+            healthy.ups_discharge
+        );
+    }
+
+    #[test]
+    fn stuck_sensor_is_flagged_after_a_repeat_run() {
+        // Bit-identical readings are fine for `stuck_sensor_periods`
+        // periods, then treated as a fault: with margin 0.85 the widened
+        // guard band flips the mode even though the reading never moves.
+        let mut sc = SprintCon::new(cfg());
+        for _ in 0..5 {
+            let out = step_with_p(&mut sc, Watts(4200.0), 0.85, true, 1.0);
+            assert_eq!(out.mode, SprintMode::Sprinting);
+        }
+        let out = step_with_p(&mut sc, Watts(4200.0), 0.85, true, 1.0);
+        assert_eq!(out.mode, SprintMode::CbProtect);
+        // A changing reading clears the run immediately.
+        let out = step_with_p(&mut sc, Watts(4205.0), 0.01, true, 1.0);
+        assert_eq!(out.mode, SprintMode::Sprinting);
     }
 }

@@ -22,6 +22,8 @@
 //! * [`fan`] — cooling-fan power disturbance (§V-A).
 //! * [`topology`] — breaker + UPS feed serving a rack (Fig. 4).
 //! * [`noise`] — seeded noise sources used by the above.
+//! * [`faults`] — deterministic fault injection (sensor, actuator,
+//!   storage, breaker, server faults) replayed from a [`faults::FaultPlan`].
 
 #![forbid(unsafe_code)]
 
@@ -29,6 +31,7 @@ pub mod battery_life;
 pub mod breaker;
 pub mod cpu;
 pub mod fan;
+pub mod faults;
 pub mod noise;
 pub mod rack;
 pub mod server;
@@ -40,6 +43,7 @@ pub mod ups;
 
 pub use breaker::{BreakerSpec, CircuitBreaker};
 pub use cpu::{CoreRole, FreqScale};
+pub use faults::{ActiveFaults, FaultEvent, FaultInjector, FaultKind, FaultPlan, StochasticFault};
 pub use rack::{CoreId, PowerMonitor, Rack};
 pub use server::{InteractivePowerModel, LinearServerModel, Server, ServerSpec};
 pub use supercap::{HybridStorage, Supercap, SupercapSpec};

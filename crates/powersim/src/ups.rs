@@ -111,6 +111,19 @@ impl UpsBattery {
         delivered
     }
 
+    /// Permanently lose `fraction` of the current capacity (cell fade,
+    /// injected by the fault model). Stored energy is clamped to the new
+    /// capacity; DoD bookkeeping continues against the faded capacity.
+    pub fn apply_capacity_fade(&mut self, fraction: f64) {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fade fraction must be in [0, 1]: {fraction}"
+        );
+        self.spec.capacity = WattHours(self.spec.capacity.0 * (1.0 - fraction));
+        self.soc = self.soc.min(self.spec.capacity);
+        self.max_dod = self.max_dod.max(self.depth_of_discharge());
+    }
+
     /// Recharge at `power` for `dt` with the given charge efficiency
     /// (energy into cells = power × dt × efficiency), clamped at capacity.
     pub fn recharge(&mut self, power: Watts, dt: Seconds, efficiency: f64) {

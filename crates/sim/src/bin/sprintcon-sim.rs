@@ -97,7 +97,14 @@ fn main() -> ExitCode {
     scenario.duration = Seconds::minutes(args.minutes);
     scenario = scenario.with_deadline(Seconds::minutes(args.deadline_min));
 
-    let mut sim = scenario.build();
+    // Surface bad flag combinations as an error message, not a panic.
+    let mut sim = match scenario.try_build() {
+        Ok(sim) => sim,
+        Err(e) => {
+            eprintln!("invalid scenario: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     if let Some(path) = &args.demand_csv {
         match workloads::trace_io::read_trace_file(path, Seconds(1.0)) {
             Ok(trace) => {

@@ -23,11 +23,15 @@
 use crate::mode::ModeLabel;
 use crate::policy::{FreqCommand, Policy, PolicyCommand, SimView};
 use crate::recorder::{Recorder, Sample};
+use crate::scenario::{Scenario, ScenarioError};
+use powersim::breaker::{BreakerState, CircuitBreaker};
 use powersim::cpu::CoreRole;
 use powersim::fan::FanModel;
+use powersim::faults::{ActiveFaults, FaultInjector};
 use powersim::rack::{PowerMonitor, Rack};
 use powersim::topology::PowerFeed;
 use powersim::units::{NormFreq, Seconds, Utilization, Watts};
+use powersim::ups::UpsBattery;
 use workloads::batch::BatchJob;
 use workloads::interactive::InteractiveTier;
 
@@ -59,34 +63,66 @@ pub struct RackSim {
     last_mode: Option<ModeLabel>,
     /// Previous tick's breaker state (reclose detection).
     last_breaker_closed: bool,
+    /// Injected-fault replay state (inert for an empty plan).
+    faults: FaultInjector,
+    /// The spec'd inverter limit, restored when a current-limit fault ends.
+    ups_max_discharge_nominal: Watts,
+    /// Was any crash fault active last tick (power-state resync edge)?
+    crash_was_active: bool,
 }
 
 impl RackSim {
-    pub fn new(
-        rack: Rack,
-        feed: PowerFeed,
-        fan: FanModel,
-        monitor: PowerMonitor,
-        tier: InteractiveTier,
-        jobs: Vec<BatchJob>,
-        dt: Seconds,
-    ) -> Self {
+    /// Validate `scenario` and assemble the full plant from it — rack,
+    /// feed, fan, monitor, interactive tier, batch jobs, fault injector.
+    ///
+    /// This replaces the old seven-argument positional constructor: every
+    /// component is derived from the one scenario description, so call
+    /// sites cannot wire mismatched plants.
+    pub fn from_scenario(scenario: &Scenario) -> Result<Self, ScenarioError> {
+        scenario.validate()?;
+        let rack = Rack::homogeneous(
+            scenario.server.clone(),
+            scenario.num_servers,
+            scenario.interactive_cores_per_server,
+        );
+        let demand = scenario.wiki.generate(scenario.seed);
+        let tier = InteractiveTier::new(demand, scenario.num_servers);
+        let feed = PowerFeed::new(
+            CircuitBreaker::new(scenario.breaker),
+            UpsBattery::full(scenario.ups),
+        );
+        // Seed offsets keep every noise stream independent: wiki = seed,
+        // fan = seed+1, monitor = seed+2, faults = seed+3.
+        let fan = FanModel::paper_default(scenario.seed.wrapping_add(1));
+        let monitor = PowerMonitor::new(
+            scenario.seed.wrapping_add(2),
+            scenario.disturbances.monitor_rel_sigma,
+            scenario.disturbances.monitor_abs_sigma,
+        );
+        let jobs = scenario.build_jobs();
+        let faults = FaultInjector::new(
+            scenario.disturbances.faults.clone(),
+            scenario.seed.wrapping_add(3),
+        );
+
         let n = rack.num_servers();
+        // Invariants: the tier and job list were built from the same
+        // scenario two lines up, so the sizes cannot disagree.
         assert_eq!(tier.weights.len(), n, "tier must cover every server");
         assert_eq!(
             jobs.len(),
             rack.count_role(CoreRole::Batch),
             "one job per batch core"
         );
-        assert!(dt.0 > 0.0);
         let max_rack_power = rack.max_power();
         let initial = rack.power();
-        RackSim {
+        let ups_max_discharge_nominal = feed.ups.spec.max_discharge;
+        Ok(RackSim {
             feed,
             powered: vec![true; n],
             shutdown: false,
             now: Seconds::ZERO,
-            dt,
+            dt: scenario.dt,
             last_measured: initial,
             last_fan: Watts::ZERO,
             rack,
@@ -97,7 +133,10 @@ impl RackSim {
             max_rack_power,
             last_mode: None,
             last_breaker_closed: true,
-        }
+            faults,
+            ups_max_discharge_nominal,
+            crash_was_active: false,
+        })
     }
 
     pub fn now(&self) -> Seconds {
@@ -132,14 +171,46 @@ impl RackSim {
         sum / ids.len() as f64
     }
 
-    fn apply_freqs(&mut self, cmd: &FreqCommand) {
+    /// Apply a frequency command through the (possibly faulty) DVFS
+    /// actuator. A non-finite command holds the core's current frequency
+    /// — real firmware rejects garbage rather than programming it.
+    fn apply_freqs(&mut self, cmd: &FreqCommand, af: &ActiveFaults) {
+        let dt = self.dt;
+        let lag_alpha = af.actuator_lag.map(|tau| dt.0 / (dt.0 + tau.0));
+        let quant = af.actuator_quantize;
+        let shape = move |cur: f64, want: f64| -> f64 {
+            let mut f = if want.is_finite() { want } else { cur };
+            if let Some(step) = quant {
+                if step > 0.0 {
+                    f = (f / step).round() * step;
+                }
+            }
+            if let Some(a) = lag_alpha {
+                f = cur + (f - cur) * a;
+            }
+            f.clamp(0.0, 1.0)
+        };
+        let faulty = af.any_actuator();
         match cmd {
             FreqCommand::RoleBased { interactive, batch } => {
-                self.rack.set_role_freq(CoreRole::Interactive, *interactive);
+                if !faulty && interactive.0.is_finite() {
+                    self.rack.set_role_freq(CoreRole::Interactive, *interactive);
+                } else {
+                    let ids = self.rack.cores_with_role(CoreRole::Interactive);
+                    for id in ids {
+                        let cur = self.rack.freq(id).0;
+                        self.rack.set_freq(id, NormFreq(shape(cur, interactive.0)));
+                    }
+                }
                 let ids = self.rack.cores_with_role(CoreRole::Batch);
                 assert_eq!(ids.len(), batch.len(), "one frequency per batch core");
                 for (id, &f) in ids.iter().zip(batch.iter()) {
-                    self.rack.set_freq(*id, NormFreq(f));
+                    if !faulty && f.is_finite() {
+                        self.rack.set_freq(*id, NormFreq(f));
+                    } else {
+                        let cur = self.rack.freq(*id).0;
+                        self.rack.set_freq(*id, NormFreq(shape(cur, f)));
+                    }
                 }
             }
             FreqCommand::AllCores(freqs) => {
@@ -154,16 +225,59 @@ impl RackSim {
                         server: idx / per_server,
                         core: idx % per_server,
                     };
-                    self.rack.set_freq(id, f);
+                    if !faulty && f.0.is_finite() {
+                        self.rack.set_freq(id, f);
+                    } else {
+                        let cur = self.rack.freq(id).0;
+                        self.rack.set_freq(id, NormFreq(shape(cur, f.0)));
+                    }
                 }
             }
         }
+    }
+
+    /// Apply this tick's plant-side faults: UPS capacity fade and current
+    /// limits, breaker thermal perturbation, server crash windows. Inert
+    /// (no state writes) when nothing is active.
+    fn apply_plant_faults(&mut self, af: &ActiveFaults) {
+        if let Some(fraction) = af.ups_capacity_fade {
+            self.feed.ups.apply_capacity_fade(fraction);
+        }
+        let desired_limit = match af.ups_current_limit {
+            Some(limit) => limit.min(self.ups_max_discharge_nominal),
+            None => self.ups_max_discharge_nominal,
+        };
+        if self.feed.ups.spec.max_discharge != desired_limit {
+            self.feed.ups.spec.max_discharge = desired_limit;
+        }
+        if let Some(delta) = af.breaker_heat_delta {
+            if let BreakerState::Closed { heat } = &mut self.feed.breaker.state {
+                *heat = (*heat + delta * self.feed.breaker.spec.trip_heat).max(0.0);
+            }
+        }
+        let crash_now = !af.crashed_servers.is_empty();
+        if (crash_now || self.crash_was_active) && !self.shutdown {
+            for s in 0..self.powered.len() {
+                self.powered[s] = !af.crashed_servers.contains(&s);
+            }
+        }
+        self.crash_was_active = crash_now;
     }
 
     /// Advance one control period under `policy`, appending to `rec`.
     pub fn step(&mut self, policy: &mut dyn Policy, rec: &mut Recorder) {
         let _tick = telemetry::span("sim_tick");
         let dt = self.dt;
+        // 0. Resolve this tick's injected faults (a no-op for an empty
+        // plan) and apply the plant-side ones.
+        let af = self.faults.advance(self.now, dt, self.last_measured);
+        if af.any() && telemetry::enabled() {
+            for label in af.labels() {
+                telemetry::counter_add(&format!("fault_active.{label}"), 1);
+            }
+        }
+        self.apply_plant_faults(&af);
+
         // 1. Policy decision on stale measurements.
         let view = SimView {
             now: self.now,
@@ -181,7 +295,7 @@ impl RackSim {
 
         // 2. Actuate (no effect once shut down; hardware is off).
         if !self.shutdown {
-            self.apply_freqs(&command.freqs);
+            self.apply_freqs(&command.freqs, &af);
         }
 
         // 3. Workloads execute.
@@ -220,11 +334,21 @@ impl RackSim {
             }
         }
 
-        // 4. Plant power.
+        // 4. Plant power. Crashed servers draw nothing (the crash fault
+        // cuts their supply); the all-powered fast path is the exact
+        // pre-fault summation.
         let server_power = if self.shutdown {
             Watts::ZERO
-        } else {
+        } else if self.powered.iter().all(|&p| p) {
             self.rack.power()
+        } else {
+            self.rack
+                .servers
+                .iter()
+                .zip(self.powered.iter())
+                .filter(|(_, &on)| on)
+                .map(|(s, _)| s.power())
+                .sum()
         };
         let fan_power = if self.shutdown {
             Watts::ZERO
@@ -233,10 +357,20 @@ impl RackSim {
                 .step(server_power.0 / self.max_rack_power.0.max(1.0), dt)
         };
         let p_true = server_power + fan_power;
-        let p_measured = self.monitor.measure(p_true);
+        // The monitor always draws its noise sample (the sensor hardware
+        // keeps running) — faults corrupt what it *reports*.
+        let p_measured = self
+            .faults
+            .corrupt_measurement(self.monitor.measure(p_true), &af);
 
-        // 5. Serve the demand.
-        let outcome = self.feed.step(p_true, command.ups_target, dt);
+        // 5. Serve the demand. The feed rejects a non-finite discharge
+        // target (a confused controller must not crash the plant model).
+        let ups_target = if command.ups_target.is_finite() {
+            command.ups_target
+        } else {
+            Watts::ZERO
+        };
+        let outcome = self.feed.step(p_true, ups_target, dt);
 
         // 6. Brownout ⇒ permanent shutdown (servers lose power and the
         // paper's scenario has no restart procedure).

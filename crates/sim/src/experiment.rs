@@ -210,6 +210,8 @@ where
         }
     });
     out.into_iter()
+        // Every slot is filled: the chunks cover `out` exactly and the
+        // scope joins all workers before returning.
         .map(|r| r.expect("sweep slot filled"))
         .collect()
 }

@@ -18,6 +18,7 @@
 //! * [`ascii_plot`] — terminal charts for the examples and figure bins.
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod ascii_plot;
 pub mod engine;
@@ -39,7 +40,7 @@ pub use mode::ModeLabel;
 pub use policy::{FreqCommand, Policy, PolicyCommand, SgctSimPolicy, SimView, SprintConPolicy};
 pub use qos::{qos_report, QosReport};
 pub use recorder::{Recorder, Sample, SimEvent};
-pub use scenario::Scenario;
+pub use scenario::{Disturbances, Scenario, ScenarioBuilder, ScenarioError};
 // Re-export the sink vocabulary so downstream crates can drive
 // `run_policy_traced` without a direct `telemetry` dependency.
 pub use telemetry::{Collector, JsonlSink, MemorySink, MetricsSnapshot, NullSink, Sink};

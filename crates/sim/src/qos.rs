@@ -48,7 +48,7 @@ pub fn qos_report(rec: &Recorder, slo_delay_s: f64) -> QosReport {
         };
     }
     let mut sorted = delays.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN backlog"));
+    sorted.sort_by(f64::total_cmp);
     let pct = |p: f64| sorted[((p * (sorted.len() - 1) as f64).round()) as usize];
     let violations = delays.iter().filter(|&&d| d > slo_delay_s).count();
     let mut longest = 0usize;
@@ -70,7 +70,9 @@ pub fn qos_report(rec: &Recorder, slo_delay_s: f64) -> QosReport {
         mean_delay_s: delays.iter().sum::<f64>() / delays.len() as f64,
         p95_delay_s: pct(0.95),
         p99_delay_s: pct(0.99),
-        max_delay_s: *sorted.last().unwrap(),
+        // `sorted` is non-empty: the `delays.is_empty()` early return
+        // above guards this path.
+        max_delay_s: sorted[sorted.len() - 1],
         violation_fraction: violations as f64 / delays.len() as f64,
         longest_violation_s: longest as f64 * dt,
     }

@@ -56,7 +56,8 @@ impl Trace {
         let x = (t.0 / self.dt.0).max(0.0);
         let i = x.floor() as usize;
         if i + 1 >= self.values.len() {
-            return *self.values.last().unwrap();
+            // Non-empty: asserted on entry.
+            return *self.values.last().expect("non-empty trace");
         }
         let frac = x - i as f64;
         self.values[i] * (1.0 - frac) + self.values[i + 1] * frac

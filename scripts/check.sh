@@ -10,7 +10,15 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace (deny warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> cargo clippy: no new unwrap() in simkit/sprintcon"
+# The crate roots carry #![cfg_attr(not(test), warn(clippy::unwrap_used))];
+# promote it to an error here so new non-test unwraps fail CI.
+cargo clippy -p simkit -p sprintcon --offline -- -D clippy::unwrap-used
+
 echo "==> cargo test --workspace"
 cargo test --workspace --offline -q
+
+echo "==> robustness & fault-injection suites"
+cargo test --offline -q --test robustness --test faults
 
 echo "OK"

@@ -89,19 +89,21 @@ fn sprintcon_first_cycle_behaviour() {
 /// far less stored energy than the ideal baselines and no trips.
 #[test]
 fn scaled_rack_headline_ordering() {
-    let mut scenario = Scenario::paper_default(2019);
-    scenario.num_servers = 8;
-    scenario.breaker = powersim::breaker::BreakerSpec::calibrated(
-        powersim::units::Watts(1600.0),
-        1.25,
-        Seconds(150.0),
-        Seconds(300.0),
-    );
-    scenario.ups = powersim::ups::UpsSpec {
-        capacity: powersim::units::WattHours(200.0),
-        max_discharge: powersim::units::Watts(2400.0),
-        ..powersim::ups::UpsSpec::paper_default()
-    };
+    let scenario = Scenario::builder(2019)
+        .num_servers(8)
+        .breaker(powersim::breaker::BreakerSpec::calibrated(
+            powersim::units::Watts(1600.0),
+            1.25,
+            Seconds(150.0),
+            Seconds(300.0),
+        ))
+        .ups(powersim::ups::UpsSpec {
+            capacity: powersim::units::WattHours(200.0),
+            max_discharge: powersim::units::Watts(2400.0),
+            ..powersim::ups::UpsSpec::paper_default()
+        })
+        .build()
+        .expect("scaled rack is a valid scenario");
     // SprintCon needs a matching plant description.
     let (_, sc) = {
         let mut sim = scenario.build();

@@ -70,8 +70,8 @@ fn constant_schedule_burst_is_protected_by_the_margin_monitor() {
 #[test]
 fn sprintcon_tolerates_a_degraded_power_monitor() {
     let mut scenario = Scenario::paper_default(2019);
-    scenario.monitor_rel_sigma = 0.05; // 5% relative noise
-    scenario.monitor_abs_sigma = 50.0;
+    scenario.disturbances.monitor_rel_sigma = 0.05; // 5% relative noise
+    scenario.disturbances.monitor_abs_sigma = 50.0;
     scenario.duration = Seconds::minutes(8.0);
     let run = run_policy(&scenario, PolicyKind::SprintCon);
     let (rec, s) = (&run.recorder, &run.summary);
