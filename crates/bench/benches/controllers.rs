@@ -47,7 +47,7 @@ fn bench_qp(c: &mut Criterion) {
 fn bench_mpc(c: &mut Criterion) {
     let mut group = c.benchmark_group("mpc");
     for &n in &[8usize, 64] {
-        let ctrl = MpcController::new(
+        let mut ctrl = MpcController::new(
             MpcConfig::paper_default(),
             vec![15.0; n],
             vec![0.2; n],

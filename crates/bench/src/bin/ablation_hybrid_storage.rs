@@ -11,15 +11,20 @@ use powersim::battery_life::LfpCycleLife;
 use powersim::supercap::{HybridStorage, Supercap, SupercapSpec};
 use powersim::units::{Seconds, Watts};
 use powersim::ups::{UpsBattery, UpsSpec};
-use simkit::{run_policy, PolicyKind, Scenario};
-use sprintcon_bench::{banner, write_csv};
+use simkit::{Campaign, PolicyKind, Scenario};
+use sprintcon_bench::{banner, write_csv, EngineArgs};
 
 fn main() {
+    let args = EngineArgs::parse();
     banner("Ablation A4 — plain battery vs hybrid battery+supercap storage");
     // Record the UPS discharge demand SprintCon actually produced over
     // the 15-minute run...
     let scenario = Scenario::paper_default(2019);
-    let run = run_policy(&scenario, PolicyKind::SprintCon);
+    let mut runs = Campaign::new()
+        .with_run(scenario, PolicyKind::SprintCon)
+        .with_exec(args.exec)
+        .run();
+    let run = runs.remove(0).output;
     let demand: Vec<f64> = run
         .recorder
         .samples()

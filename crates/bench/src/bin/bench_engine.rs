@@ -1,0 +1,280 @@
+//! Execution-engine benchmark: proves the two PR-level performance
+//! claims and emits them as `BENCH_engine.json`.
+//!
+//! 1. **Campaign parallelism** — wall-clock of a 16-run campaign
+//!    (4 seeds × 4 policies) sequentially vs under 1/2/4/8 worker
+//!    threads, with a digest comparison proving every parallel pass is
+//!    bit-identical to the sequential one. Speedup scales with the
+//!    host's core count (the JSON records `cpus` so a 1-core CI runner's
+//!    ~1.0× is interpretable); the determinism check is the invariant
+//!    that must hold everywhere.
+//! 2. **MPC hot path** — mean ns per control period for the
+//!    pre-refactor allocating path (fresh `Mat` + bounds +
+//!    `QpProblem::new` + `solve` every period, replicated here
+//!    verbatim) vs the current in-place path
+//!    (`MpcController::compute`: preallocated problem + `QpWorkspace`,
+//!    `solve_with`).
+//!
+//! Flags: `--secs N` scenario length (default 120), `--out PATH`
+//! (default `BENCH_engine.json`), `--check` determinism-only mode for
+//! CI (small campaign, no timing sweep, exit 1 on digest mismatch).
+
+use powersim::units::Seconds;
+use simkit::{Campaign, ExecConfig, PolicyKind, Scenario};
+use sprint_control::linalg::Mat;
+use sprint_control::mpc::{MpcConfig, MpcController};
+use sprint_control::qp::QpProblem;
+use std::time::Instant;
+
+struct Args {
+    secs: f64,
+    out: String,
+    check_only: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        secs: 120.0,
+        out: "BENCH_engine.json".to_string(),
+        check_only: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => args.check_only = true,
+            "--secs" => {
+                let v = it.next().expect("--secs needs a value");
+                args.secs = v.parse().expect("--secs expects seconds");
+            }
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_engine [--secs N] [--out PATH] [--check]");
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(args.secs > 0.0, "--secs must be positive");
+    args
+}
+
+/// The 16-run campaign: 4 seeds × every §VII policy.
+fn campaign(secs: f64) -> Campaign {
+    let scenarios = (0..4).map(move |i| {
+        let mut sc = Scenario::paper_default(2019 + i);
+        sc.duration = Seconds(secs);
+        sc
+    });
+    Campaign::new().with_grid(scenarios, &PolicyKind::ALL)
+}
+
+/// Compare digests run-by-run; returns the mismatched labels.
+fn digest_mismatches(
+    seq: &[simkit::CampaignResult],
+    par: &[simkit::CampaignResult],
+) -> Vec<String> {
+    assert_eq!(seq.len(), par.len(), "result counts must agree");
+    seq.iter()
+        .zip(par)
+        .filter(|(a, b)| a.digest() != b.digest())
+        .map(|(a, _)| a.label.clone())
+        .collect()
+}
+
+/// One control period of the *pre-refactor* MPC: fresh Hessian, fresh
+/// gradient, fresh bound vectors, fresh `QpProblem`, allocating FISTA
+/// buffers inside `solve` — the per-period construction this PR removed,
+/// replicated operation-for-operation as the "before" measurement.
+#[allow(clippy::too_many_arguments)] // mirrors the old controller state field-for-field
+fn compute_allocating(
+    cfg: &MpcConfig,
+    gains: &[f64],
+    r: &[f64],
+    r_floor: f64,
+    fmin: &[f64],
+    fmax: &[f64],
+    p_fb: f64,
+    target: f64,
+    f_now: &[f64],
+) -> f64 {
+    let n = gains.len();
+    let (lp, lc) = (cfg.lp, cfg.lc);
+    let dim = n * lc;
+    let mut h = Mat::zeros(dim, dim);
+    let mut g = vec![0.0; dim];
+    let kf: f64 = gains.iter().zip(f_now).map(|(k, f)| k * f).sum();
+    for step in 1..=lp {
+        let b = step.min(lc) - 1;
+        let decay = (-(step as f64) * cfg.period / cfg.tau_r).exp();
+        let reference = target - decay * (target - p_fb);
+        let bn = reference - p_fb + kf;
+        for j in 0..n {
+            let kj = gains[j];
+            g[b * n + j] += -2.0 * cfg.q * bn * kj;
+            for i in 0..n {
+                h[(b * n + j, b * n + i)] += 2.0 * cfg.q * kj * gains[i];
+            }
+        }
+    }
+    for b in 0..lc {
+        let steps_fed = if b + 1 < lc { 1 } else { lp - (lc - 1) };
+        let share = steps_fed as f64 / lp as f64;
+        for j in 0..n {
+            let rj = cfg.r_scale * r[j].max(r_floor) * share;
+            h[(b * n + j, b * n + j)] += 2.0 * rj;
+            g[b * n + j] += -2.0 * rj * fmax[j];
+        }
+    }
+    let mut lo = Vec::with_capacity(dim);
+    let mut hi = Vec::with_capacity(dim);
+    for _ in 0..lc {
+        lo.extend_from_slice(fmin);
+        hi.extend_from_slice(fmax);
+    }
+    let qp = QpProblem::new(h, g, lo, hi).solve(1e-7, 2_000);
+    qp.x[0]
+}
+
+/// Deterministic feedback sequence shared by both measured paths.
+fn feedback(i: usize) -> f64 {
+    1500.0 + 80.0 * ((i as f64) * 0.37).sin()
+}
+
+fn bench_mpc_paths(channels: usize, periods: usize) -> (f64, f64) {
+    let cfg = MpcConfig::paper_default();
+    let gains = vec![15.0; channels];
+    let fmin = vec![0.2; channels];
+    let fmax = vec![1.0; channels];
+    let r = vec![1.0; channels];
+    let f_now = vec![0.6; channels];
+    let target = 1700.0;
+
+    let mut ctrl = MpcController::new(cfg, gains.clone(), fmin.clone(), fmax.clone());
+    let r_floor = ctrl.r_floor;
+    let mut sink = 0.0;
+
+    // Warm up both paths (page in, branch-train) before timing.
+    for i in 0..10 {
+        sink += ctrl.compute(feedback(i), target, &f_now).freqs[0];
+        sink += compute_allocating(
+            &cfg,
+            &gains,
+            &r,
+            r_floor,
+            &fmin,
+            &fmax,
+            feedback(i),
+            target,
+            &f_now,
+        );
+    }
+
+    let t0 = Instant::now();
+    for i in 0..periods {
+        sink += compute_allocating(
+            &cfg,
+            &gains,
+            &r,
+            r_floor,
+            &fmin,
+            &fmax,
+            feedback(i),
+            target,
+            &f_now,
+        );
+    }
+    let before_ns = t0.elapsed().as_nanos() as f64 / periods as f64;
+
+    let t1 = Instant::now();
+    for i in 0..periods {
+        sink += ctrl.compute(feedback(i), target, &f_now).freqs[0];
+    }
+    let after_ns = t1.elapsed().as_nanos() as f64 / periods as f64;
+
+    std::hint::black_box(sink);
+    (before_ns, after_ns)
+}
+
+fn main() {
+    let args = parse_args();
+    let cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    if args.check_only {
+        // CI determinism gate: a small campaign, sequential vs 4 workers,
+        // digest-compared run by run.
+        let c = campaign(args.secs.min(30.0));
+        let seq = c.run_sequential();
+        let par = c.run_with(ExecConfig::jobs(4));
+        let bad = digest_mismatches(&seq, &par);
+        if bad.is_empty() {
+            println!(
+                "determinism check passed: {} runs bit-identical (seq vs 4 workers)",
+                seq.len()
+            );
+            return;
+        }
+        eprintln!("DETERMINISM VIOLATION in {} runs: {bad:?}", bad.len());
+        std::process::exit(1);
+    }
+
+    println!("bench_engine: {cpus}-core host, {}s scenarios", args.secs);
+    let c = campaign(args.secs);
+
+    println!("sequential pass ({} runs)...", c.len());
+    let t0 = Instant::now();
+    let seq = c.run_sequential();
+    let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!("  {seq_ms:.0} ms");
+
+    let widths = [1usize, 2, 4, 8];
+    let mut rows = Vec::new();
+    let mut all_match = true;
+    for &jobs in &widths {
+        println!("parallel pass, {jobs} worker(s)...");
+        let t = Instant::now();
+        let par = c.run_with(ExecConfig::jobs(jobs));
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        let bad = digest_mismatches(&seq, &par);
+        all_match &= bad.is_empty();
+        if !bad.is_empty() {
+            eprintln!("  DETERMINISM VIOLATION: {bad:?}");
+        }
+        println!("  {ms:.0} ms  (speedup {:.2}x)", seq_ms / ms);
+        rows.push((jobs, ms));
+    }
+
+    println!("MPC hot path, 64 channels x 200 periods...");
+    let (before_ns, after_ns) = bench_mpc_paths(64, 200);
+    println!(
+        "  before (alloc per period): {:.0} ns/period\n  after  (workspace reuse) : {:.0} ns/period  ({:.2}x)",
+        before_ns,
+        after_ns,
+        before_ns / after_ns
+    );
+
+    let jobs_json: Vec<String> = rows
+        .iter()
+        .map(|(j, ms)| {
+            format!(
+                "{{\"jobs\": {j}, \"wall_ms\": {ms:.1}, \"speedup\": {:.3}}}",
+                seq_ms / ms
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"host\": {{\"cpus\": {cpus}}},\n  \"campaign\": {{\"runs\": {}, \"scenario_secs\": {}}},\n  \"wall_clock\": {{\"seq_ms\": {seq_ms:.1}, \"parallel\": [\n    {}\n  ]}},\n  \"determinism\": {{\"checked\": true, \"bit_identical\": {all_match}}},\n  \"mpc_hot_path\": {{\"channels\": 64, \"periods\": 200, \"before_ns_per_period\": {before_ns:.0}, \"after_ns_per_period\": {after_ns:.0}, \"improvement\": {:.3}}}\n}}\n",
+        c.len(),
+        args.secs,
+        jobs_json.join(",\n    "),
+        before_ns / after_ns,
+    );
+    std::fs::write(&args.out, &json).expect("write BENCH_engine.json");
+    println!("wrote {}", args.out);
+
+    if !all_match {
+        eprintln!("determinism check FAILED");
+        std::process::exit(1);
+    }
+}

@@ -8,13 +8,18 @@
 //! frequency 0.64 interactive / 0.71 batch over the window).
 
 use simkit::ascii_plot::multi_chart;
-use simkit::{run_policy, PolicyKind, Scenario};
-use sprintcon_bench::{banner, write_csv};
+use simkit::{Campaign, PolicyKind, Scenario};
+use sprintcon_bench::{banner, write_csv, EngineArgs};
 
 fn main() {
+    let args = EngineArgs::parse();
     banner("Fig. 5 — uncontrolled sprinting (SGCT): power and frequency curves");
     let scenario = Scenario::paper_default(2019);
-    let run = run_policy(&scenario, PolicyKind::Sgct);
+    let mut runs = Campaign::new()
+        .with_run(scenario, PolicyKind::Sgct)
+        .with_exec(args.exec)
+        .run();
+    let run = runs.remove(0).output;
     let (rec, summary) = (&run.recorder, &run.summary);
 
     let cb: Vec<f64> = rec.samples().iter().map(|s| s.cb_power.0).collect();

@@ -8,19 +8,24 @@
 //! source of sprint power.
 
 use simkit::ascii_plot::multi_chart;
-use simkit::{run_policy, PolicyKind, Scenario};
-use sprintcon_bench::{banner, write_csv};
+use simkit::{Campaign, PolicyKind, Scenario};
+use sprintcon_bench::{banner, write_csv, EngineArgs};
 
 fn main() {
+    let args = EngineArgs::parse();
     let scenario = Scenario::paper_default(2019);
-    for (tag, kind) in [
+    let tags = [
         ("a-sprintcon", PolicyKind::SprintCon),
         ("b-sgct-v1", PolicyKind::SgctV1),
         ("c-sgct-v2", PolicyKind::SgctV2),
-    ] {
+    ];
+    let runs = Campaign::new()
+        .with_grid([scenario], &tags.map(|(_, k)| k))
+        .with_exec(args.exec)
+        .run();
+    for ((tag, kind), run) in tags.iter().zip(&runs) {
         banner(&format!("Fig. 6({}) — {}", &tag[..1], kind.name()));
-        let run = run_policy(&scenario, kind);
-        let (rec, summary) = (&run.recorder, &run.summary);
+        let (rec, summary) = (&run.output.recorder, run.summary());
         let cb: Vec<f64> = rec.samples().iter().map(|s| s.cb_power.0).collect();
         let total: Vec<f64> = rec.samples().iter().map(|s| s.p_total.0).collect();
         let budget: Vec<f64> = rec

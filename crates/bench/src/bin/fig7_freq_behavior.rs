@@ -8,20 +8,25 @@
 //! reproduced result.
 
 use simkit::ascii_plot::multi_chart;
-use simkit::{run_policy, PolicyKind, Scenario};
-use sprintcon_bench::{banner, write_csv};
+use simkit::{Campaign, PolicyKind, Scenario};
+use sprintcon_bench::{banner, write_csv, EngineArgs};
 
 fn main() {
+    let args = EngineArgs::parse();
     let scenario = Scenario::paper_default(2019);
-    let mut results = Vec::new();
-    for (tag, kind) in [
+    let tags = [
         ("a-sprintcon", PolicyKind::SprintCon),
         ("b-sgct-v1", PolicyKind::SgctV1),
         ("c-sgct-v2", PolicyKind::SgctV2),
-    ] {
+    ];
+    let runs = Campaign::new()
+        .with_grid([scenario], &tags.map(|(_, k)| k))
+        .with_exec(args.exec)
+        .run();
+    let mut results = Vec::new();
+    for ((tag, kind), run) in tags.iter().zip(&runs) {
         banner(&format!("Fig. 7({}) — {}", &tag[..1], kind.name()));
-        let run = run_policy(&scenario, kind);
-        let (rec, summary) = (&run.recorder, run.summary.clone());
+        let (rec, summary) = (&run.output.recorder, run.summary().clone());
         let fi: Vec<f64> = rec
             .samples()
             .iter()
@@ -53,7 +58,7 @@ fn main() {
             &rows,
         );
         println!("csv: {}", path.display());
-        results.push((kind, summary, fb));
+        results.push((*kind, summary, fb));
     }
 
     banner("Fig. 7 summary (paper values in parentheses)");

@@ -8,21 +8,31 @@
 //! could have kept).
 
 use powersim::units::Seconds;
-use simkit::{run_policy, sweep, PolicyKind, Scenario};
-use sprintcon_bench::{banner, write_csv};
+use simkit::{Campaign, PolicyKind, Scenario};
+use sprintcon_bench::{banner, write_csv, EngineArgs};
 
 fn main() {
+    let args = EngineArgs::parse();
     banner("Fig. 8(a) — normalized time use vs batch deadline");
     let deadlines = [9.0, 12.0, 15.0];
+    // Deadline-major grid, every policy per deadline — matches the
+    // campaign's scenario-major entry order below.
     let cases: Vec<(f64, PolicyKind)> = deadlines
         .iter()
         .flat_map(|&d| PolicyKind::ALL.iter().map(move |&k| (d, k)))
         .collect();
-    let results = sweep(&cases, |(d, kind)| {
-        let scenario = Scenario::paper_default(2019).with_deadline(Seconds::minutes(*d));
-        let run = run_policy(&scenario, *kind);
-        (*d, *kind, run.summary)
-    });
+    let runs = Campaign::new()
+        .with_grid(
+            deadlines.map(|d| Scenario::paper_default(2019).with_deadline(Seconds::minutes(d))),
+            &PolicyKind::ALL,
+        )
+        .with_exec(args.exec)
+        .run();
+    let results: Vec<(f64, PolicyKind, simkit::RunSummary)> = cases
+        .iter()
+        .zip(runs)
+        .map(|(&(d, kind), run)| (d, kind, run.output.summary))
+        .collect();
 
     println!(
         "{:>9} {:>10} {:>12} {:>12}",

@@ -9,21 +9,29 @@
 
 use powersim::battery_life::LfpCycleLife;
 use powersim::units::Seconds;
-use simkit::{run_policy, sweep, PolicyKind, Scenario};
-use sprintcon_bench::{banner, write_csv};
+use simkit::{Campaign, PolicyKind, Scenario};
+use sprintcon_bench::{banner, write_csv, EngineArgs};
 
 fn main() {
+    let args = EngineArgs::parse();
     banner("Fig. 8(b) — UPS depth of discharge vs batch deadline");
     let deadlines = [9.0, 12.0, 15.0];
     let cases: Vec<(f64, PolicyKind)> = deadlines
         .iter()
         .flat_map(|&d| PolicyKind::ALL.iter().map(move |&k| (d, k)))
         .collect();
-    let results = sweep(&cases, |(d, kind)| {
-        let scenario = Scenario::paper_default(2019).with_deadline(Seconds::minutes(*d));
-        let run = run_policy(&scenario, *kind);
-        (*d, *kind, run.summary)
-    });
+    let runs = Campaign::new()
+        .with_grid(
+            deadlines.map(|d| Scenario::paper_default(2019).with_deadline(Seconds::minutes(d))),
+            &PolicyKind::ALL,
+        )
+        .with_exec(args.exec)
+        .run();
+    let results: Vec<(f64, PolicyKind, simkit::RunSummary)> = cases
+        .iter()
+        .zip(runs)
+        .map(|(&(d, kind), run)| (d, kind, run.output.summary))
+        .collect();
 
     println!(
         "{:>9} {:>10} {:>8} {:>10}",

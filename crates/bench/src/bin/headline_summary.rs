@@ -6,14 +6,18 @@
 //! 6–56% over the SGCT family, uses up to 87% less stored energy, and is
 //! the only policy that neither trips the breaker nor drains the UPS.
 
-use simkit::{run_all, summary_table, Scenario};
-use sprintcon_bench::banner;
+use simkit::{summary_table, Campaign, Scenario};
+use sprintcon_bench::{banner, EngineArgs};
 
 fn main() {
+    let args = EngineArgs::parse();
     let scenario = Scenario::paper_default(2019);
     banner("Headline: 15-minute sprint, 12-minute batch deadline");
-    let results = run_all(&scenario);
-    let summaries: Vec<_> = results.iter().map(|r| r.summary.clone()).collect();
+    let results = Campaign::new()
+        .with_all_policies(scenario)
+        .with_exec(args.exec)
+        .run();
+    let summaries: Vec<_> = results.iter().map(|r| r.summary().clone()).collect();
     println!("{}", summary_table(&summaries));
 
     let sprintcon = &summaries[0];

@@ -10,8 +10,8 @@
 
 use powersim::faults::{FaultKind, FaultPlan};
 use powersim::units::{Seconds, Watts};
-use simkit::{run_policy, PolicyKind, Scenario};
-use sprintcon_bench::{banner, write_csv};
+use simkit::{Campaign, PolicyKind, Scenario};
+use sprintcon_bench::{banner, write_csv, EngineArgs};
 
 /// Mean length of one stochastic dropout burst.
 const MEAN_OUTAGE: Seconds = Seconds(8.0);
@@ -25,18 +25,27 @@ fn scenario_with(plan: FaultPlan) -> Scenario {
 }
 
 fn main() {
+    let args = EngineArgs::parse();
     banner("Monitor-dropout sweep: SprintCon vs uncontrolled SGCT");
     println!(
         "{:>9}  {:>10}  {:>5}  {:>8}  {:>7}  {:>7}",
         "intensity", "policy", "trips", "missed", "max-dod", "dod"
     );
     let intensities = [0.0, 0.05, 0.10, 0.20, 0.40];
+    let kinds = [PolicyKind::SprintCon, PolicyKind::Sgct];
+    let sweep_runs = Campaign::new()
+        .with_grid(
+            intensities.map(|i| scenario_with(FaultPlan::monitor_dropout(i, MEAN_OUTAGE))),
+            &kinds,
+        )
+        .with_exec(args.exec)
+        .run();
     let mut rows = Vec::new();
+    let mut run_it = sweep_runs.iter();
     for &intensity in &intensities {
-        for kind in [PolicyKind::SprintCon, PolicyKind::Sgct] {
-            let plan = FaultPlan::monitor_dropout(intensity, MEAN_OUTAGE);
-            let out = run_policy(&scenario_with(plan), kind);
-            let s = &out.summary;
+        for kind in kinds {
+            let out = run_it.next().expect("grid is intensity-major").summary();
+            let s = out;
             let missed = s.deadlines_total - s.deadlines_met;
             println!(
                 "{:>9.2}  {:>10}  {:>5}  {:>8}  {:>7.3}  {:>7.3}",
@@ -64,8 +73,13 @@ fn main() {
     println!("wrote {}", path.display());
 
     banner("Zero-drift check: empty fault plan == no fault subsystem");
-    let base = run_policy(&Scenario::paper_default(SEED), PolicyKind::SprintCon);
-    let off = run_policy(&scenario_with(FaultPlan::none()), PolicyKind::SprintCon);
+    let mut drift_runs = Campaign::new()
+        .with_run(Scenario::paper_default(SEED), PolicyKind::SprintCon)
+        .with_run(scenario_with(FaultPlan::none()), PolicyKind::SprintCon)
+        .with_exec(args.exec)
+        .run();
+    let off = drift_runs.remove(1).output;
+    let base = drift_runs.remove(0).output;
     let drift = base.recorder.samples().len() != off.recorder.samples().len()
         || base
             .recorder
@@ -107,9 +121,19 @@ fn main() {
         "{:>18}  {:>5}  {:>8}  {:>7}  {:>12}  {:>9}",
         "fault", "trips", "missed", "max-dod", "meas-holds", "pid-falls"
     );
+    let mut class_campaign = Campaign::new();
     for (label, kind) in classes {
         let plan = FaultPlan::none().with_event(Seconds(120.0), Seconds(300.0), *kind);
-        let out = run_policy(&scenario_with(plan), PolicyKind::SprintCon);
+        class_campaign.add_with(
+            *label,
+            scenario_with(plan),
+            PolicyKind::SprintCon,
+            Default::default(),
+        );
+    }
+    let class_runs = class_campaign.with_exec(args.exec).run();
+    for ((label, _), res) in classes.iter().zip(&class_runs) {
+        let out = &res.output;
         let s = &out.summary;
         println!(
             "{:>18}  {:>5}  {:>8}  {:>7.3}  {:>12}  {:>9}",

@@ -22,7 +22,7 @@
 //! frequency, so the optimizer throttles the jobs that can afford it.
 
 use crate::linalg::Mat;
-use crate::qp::{QpProblem, QpSolution};
+use crate::qp::{QpProblem, QpSolution, QpWorkspace};
 
 /// Static MPC configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -74,13 +74,20 @@ pub struct MpcController {
     /// Per-channel power gains `kⱼ` (watts per unit normalized
     /// frequency), from the linear model of Eq. (2)/(3).
     gains: Vec<f64>,
-    /// Per-channel frequency bounds (Eq. (9)).
-    fmin: Vec<f64>,
+    /// Per-channel frequency ceiling (Eq. (9)); the floor lives only in
+    /// the prebuilt QP box bounds.
     fmax: Vec<f64>,
     /// Per-channel penalty weights `Rⱼ` (progress balancing, §V-B).
     r: Vec<f64>,
     /// Floor applied to `Rⱼ` to keep the Hessian positive definite.
     pub r_floor: f64,
+    /// Preallocated QP instance: `H`/`g` are rebuilt in place every
+    /// control period, `lo`/`hi` are the box bounds replicated per block
+    /// and never change. Reusing it removes the per-period `Mat::zeros`
+    /// (512 KiB at 128 channels × 2 blocks) and bound-vector churn.
+    qp: QpProblem,
+    /// Preallocated FISTA iteration buffers, reused across periods.
+    ws: QpWorkspace,
 }
 
 /// One control decision.
@@ -105,13 +112,24 @@ impl MpcController {
             fmin.iter().zip(&fmax).all(|(a, b)| a <= b),
             "fmin must not exceed fmax"
         );
+        // Box constraints (Eq. (9)) replicated per control block — fixed
+        // for the controller's lifetime, so build them once.
+        let dim = n * cfg.lc;
+        let mut lo = Vec::with_capacity(dim);
+        let mut hi = Vec::with_capacity(dim);
+        for _ in 0..cfg.lc {
+            lo.extend_from_slice(&fmin);
+            hi.extend_from_slice(&fmax);
+        }
+        let qp = QpProblem::new(Mat::zeros(dim, dim), vec![0.0; dim], lo, hi);
         MpcController {
             cfg,
             gains,
-            fmin,
             fmax,
             r: vec![1.0; n],
             r_floor: 0.05,
+            qp,
+            ws: QpWorkspace::new(dim),
         }
     }
 
@@ -147,24 +165,44 @@ impl MpcController {
     /// Solve one control period: measured feedback power `p_fb`
     /// (Eq. (6)), set point `target` (`P_batch`), current channel
     /// frequencies `f_now`.
-    pub fn compute(&self, p_fb: f64, target: f64, f_now: &[f64]) -> MpcDecision {
+    ///
+    /// Steady-state hot path: the QP's `H`/`g` are rebuilt in place
+    /// inside the preallocated problem and the FISTA iterations run in
+    /// the controller's [`QpWorkspace`], so a control period performs no
+    /// matrix or iteration-buffer allocation (only the returned
+    /// decision's two small `Vec`s are fresh).
+    pub fn compute(&mut self, p_fb: f64, target: f64, f_now: &[f64]) -> MpcDecision {
         let _timer = telemetry::span("mpc_compute");
         let n = self.num_channels();
         assert_eq!(f_now.len(), n);
         let (lp, lc) = (self.cfg.lp, self.cfg.lc);
-        let dim = n * lc;
 
         // Decision x[b*n + j] = planned absolute frequency of channel j in
         // control block b. Power predicted at t+n uses block min(n−1, lc−1).
-        let mut h = Mat::zeros(dim, dim);
-        let mut g = vec![0.0; dim];
+        // Only the lc diagonal n×n blocks of H are ever touched (tracking
+        // couples channels within a block, never across blocks), so only
+        // those entries need re-zeroing.
+        let h = &mut self.qp.h;
+        let g = &mut self.qp.g;
+        g.fill(0.0);
+        for b in 0..lc {
+            for j in 0..n {
+                for i in 0..n {
+                    h[(b * n + j, b * n + i)] = 0.0;
+                }
+            }
+        }
 
         // Tracking terms: q·(kᵀ y_b − b_n)² with
         // b_n = p_r(n) − p_fb + kᵀ f_now.
         let kf: f64 = self.gains.iter().zip(f_now).map(|(k, f)| k * f).sum();
         for step in 1..=lp {
             let b = step.min(lc) - 1; // control block feeding this step
-            let bn = self.reference(target, p_fb, step) - p_fb + kf;
+                                      // [`Self::reference`] inlined: `h`/`g` hold field borrows, so
+                                      // a `&self` method call is unavailable here.
+            let decay = (-(step as f64) * self.cfg.period / self.cfg.tau_r).exp();
+            let reference = target - decay * (target - p_fb);
+            let bn = reference - p_fb + kf;
             let q = self.cfg.q;
             for j in 0..n {
                 let kj = self.gains[j];
@@ -191,15 +229,7 @@ impl MpcController {
             }
         }
 
-        // Box constraints (Eq. (9)) replicated per block.
-        let mut lo = Vec::with_capacity(dim);
-        let mut hi = Vec::with_capacity(dim);
-        for _ in 0..lc {
-            lo.extend_from_slice(&self.fmin);
-            hi.extend_from_slice(&self.fmax);
-        }
-
-        let qp = QpProblem::new(h, g, lo, hi).solve(1e-7, 2_000);
+        let qp = self.qp.solve_with(&mut self.ws, 1e-7, 2_000);
         telemetry::histogram_observe("mpc_solve_iters", qp.iterations as f64);
         if !qp.converged {
             telemetry::counter_add("mpc_qp_fallback", 1);
@@ -247,7 +277,12 @@ mod tests {
         )
     }
 
-    fn run_loop(ctrl: &MpcController, plant: &mut Plant, target: f64, steps: usize) -> Vec<f64> {
+    fn run_loop(
+        ctrl: &mut MpcController,
+        plant: &mut Plant,
+        target: f64,
+        steps: usize,
+    ) -> Vec<f64> {
         let mut history = Vec::new();
         for _ in 0..steps {
             let p = plant.power();
@@ -260,7 +295,7 @@ mod tests {
 
     #[test]
     fn converges_to_set_point_with_exact_model() {
-        let ctrl = controller(4);
+        let mut ctrl = controller(4);
         let mut plant = Plant {
             k: vec![15.0; 4],
             base: 10.0,
@@ -268,7 +303,7 @@ mod tests {
         };
         // Target well inside the actuation range: 40 W of controllable
         // power (plant spans 10+4×3=22 .. 10+4×15=70).
-        let hist = run_loop(&ctrl, &mut plant, 40.0, 60);
+        let hist = run_loop(&mut ctrl, &mut plant, 40.0, 60);
         let final_p = *hist.last().unwrap();
         // The Eq.(8) peak-pull penalty leaves a small designed offset
         // above the set point (the R term keeps tugging frequencies
@@ -283,13 +318,13 @@ mod tests {
     fn tolerates_forty_percent_gain_error() {
         // §V-C: stability under bounded model error. Plant gains are 40%
         // above the model's.
-        let ctrl = controller(4);
+        let mut ctrl = controller(4);
         let mut plant = Plant {
             k: vec![21.0; 4],
             base: 10.0,
             f: vec![1.0; 4],
         };
-        let hist = run_loop(&ctrl, &mut plant, 50.0, 80);
+        let hist = run_loop(&mut ctrl, &mut plant, 50.0, 80);
         let final_p = *hist.last().unwrap();
         assert!((final_p - 50.0).abs() < 1.5, "final={final_p}");
         // No oscillatory blow-up anywhere in the tail.
@@ -300,13 +335,13 @@ mod tests {
 
     #[test]
     fn unreachable_target_saturates_at_peak() {
-        let ctrl = controller(3);
+        let mut ctrl = controller(3);
         let mut plant = Plant {
             k: vec![15.0; 3],
             base: 0.0,
             f: vec![0.2; 3],
         };
-        run_loop(&ctrl, &mut plant, 1_000.0, 40);
+        run_loop(&mut ctrl, &mut plant, 1_000.0, 40);
         for f in &plant.f {
             assert!((f - 1.0).abs() < 1e-6, "should pin at peak, got {f}");
         }
@@ -314,13 +349,13 @@ mod tests {
 
     #[test]
     fn target_below_floor_saturates_at_fmin() {
-        let ctrl = controller(3);
+        let mut ctrl = controller(3);
         let mut plant = Plant {
             k: vec![15.0; 3],
             base: 50.0,
             f: vec![1.0; 3],
         };
-        run_loop(&ctrl, &mut plant, 0.0, 40);
+        run_loop(&mut ctrl, &mut plant, 0.0, 40);
         for f in &plant.f {
             assert!((f - 0.2).abs() < 1e-6, "should pin at floor, got {f}");
         }
@@ -338,7 +373,7 @@ mod tests {
             f: vec![1.0; 2],
         };
         // Budget forces roughly half of max controllable power.
-        run_loop(&ctrl, &mut plant, 15.0, 60);
+        run_loop(&mut ctrl, &mut plant, 15.0, 60);
         assert!(
             plant.f[0] > plant.f[1] + 0.2,
             "urgent channel must run faster: {:?}",
@@ -351,7 +386,7 @@ mod tests {
 
     #[test]
     fn commands_respect_bounds_always() {
-        let ctrl = controller(5);
+        let mut ctrl = controller(5);
         for &(p_fb, target) in &[(0.0, 500.0), (500.0, 0.0), (60.0, 60.0), (30.0, 90.0)] {
             let d = ctrl.compute(p_fb, target, &[0.5; 5]);
             for f in &d.freqs {
@@ -395,7 +430,7 @@ mod tests {
         // Already exactly on target with all channels mid-range: the
         // optimizer should not move much (only the peak-pull from R,
         // which the tracking term counters).
-        let ctrl = controller(4);
+        let mut ctrl = controller(4);
         let f_now = vec![0.6; 4];
         let p_now = 15.0 * 0.6 * 4.0; // matches model prediction
         let d = ctrl.compute(p_now, p_now, &f_now);

@@ -79,7 +79,7 @@ proptest! {
         target_frac in 0.05f64..0.95,
         n in 2usize..6,
     ) {
-        let ctrl = MpcController::new(
+        let mut ctrl = MpcController::new(
             MpcConfig::paper_default(),
             vec![k; n],
             vec![0.2; n],

@@ -31,6 +31,9 @@ pub struct ServerPowerController {
     last_finite_p_fb: f64,
     /// Was the fallback active last period (reset-on-recovery edge)?
     fallback_was_active: bool,
+    /// Scratch for the per-period `Rⱼ` refresh — reused so the steady
+    /// state allocates nothing per control period.
+    weight_scratch: Vec<f64>,
 }
 
 impl ServerPowerController {
@@ -76,6 +79,7 @@ impl ServerPowerController {
             fallback_pid,
             last_finite_p_fb: 0.0,
             fallback_was_active: false,
+            weight_scratch: Vec::with_capacity(n),
         }
     }
 
@@ -146,8 +150,10 @@ impl ServerPowerController {
     /// (§V-B); `jobs` is ordered like the MPC channels.
     pub fn update_weights(&mut self, now: Seconds, jobs: &[BatchJob]) {
         assert_eq!(jobs.len(), self.mpc.num_channels());
-        let w: Vec<f64> = jobs.iter().map(|j| j.control_weight(now)).collect();
-        self.mpc.set_penalty_weights(&w);
+        self.weight_scratch.clear();
+        self.weight_scratch
+            .extend(jobs.iter().map(|j| j.control_weight(now)));
+        self.mpc.set_penalty_weights(&self.weight_scratch);
     }
 
     /// One control period (the 4-step loop of §IV-C): take the measured

@@ -174,46 +174,19 @@ pub fn aggregate_metrics<'a>(runs: impl IntoIterator<Item = &'a RunOutput>) -> M
     agg
 }
 
-/// Parallel parameter sweep with deterministic, input-ordered results.
+/// Parallel parameter sweep with deterministic, input-ordered results,
+/// on one worker per available core.
 ///
-/// Fans out across threads with `std::thread::scope`; each worker owns its
-/// own scenario/simulation, so there is no shared mutable state (the
-/// guide-recommended data-parallel shape). Runs started inside the sweep
-/// install thread-scoped collectors, so each [`RunOutput::metrics`] sees
-/// only its own run regardless of the thread it landed on.
+/// Thin wrapper over [`crate::exec::sweep_parallel`] with the default
+/// pool width; use that function directly (or a [`crate::exec::Campaign`])
+/// to control the worker count.
 pub fn sweep<P, R, F>(params: &[P], f: F) -> Vec<R>
 where
     P: Sync,
     R: Send,
     F: Fn(&P) -> R + Sync,
 {
-    let n = params.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n.max(1));
-    std::thread::scope(|scope| {
-        let chunks = out.chunks_mut(n.div_ceil(threads));
-        for (ci, chunk) in chunks.enumerate() {
-            let f = &f;
-            let base = ci * n.div_ceil(threads);
-            let params = &params;
-            scope.spawn(move || {
-                for (i, slot) in chunk.iter_mut().enumerate() {
-                    *slot = Some(f(&params[base + i]));
-                }
-            });
-        }
-    });
-    out.into_iter()
-        // Every slot is filled: the chunks cover `out` exactly and the
-        // scope joins all workers before returning.
-        .map(|r| r.expect("sweep slot filled"))
-        .collect()
+    crate::exec::sweep_parallel(params, crate::exec::ExecConfig::parallel(), f)
 }
 
 #[cfg(test)]

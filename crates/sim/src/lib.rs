@@ -15,6 +15,9 @@
 //! * [`mode`] — the shared [`mode::ModeLabel`] vocabulary for policy modes.
 //! * [`experiment`] — policy runners (with per-run telemetry snapshots)
 //!   and parallel parameter sweeps.
+//! * [`exec`] — the parallel execution layer: [`exec::Campaign`] fans
+//!   scenario × policy runs across a configurable thread pool with
+//!   deterministic, input-ordered, sequential-bit-identical results.
 //! * [`ascii_plot`] — terminal charts for the examples and figure bins.
 
 #![forbid(unsafe_code)]
@@ -22,6 +25,7 @@
 
 pub mod ascii_plot;
 pub mod engine;
+pub mod exec;
 pub mod experiment;
 pub mod metrics;
 pub mod mode;
@@ -31,6 +35,10 @@ pub mod recorder;
 pub mod scenario;
 
 pub use engine::RackSim;
+pub use exec::{
+    run_all_parallel, run_digest, sweep_parallel, Campaign, CampaignEntry, CampaignResult,
+    ExecConfig,
+};
 pub use experiment::{
     aggregate_metrics, run_all, run_policy, run_policy_traced, run_policy_with, sweep, PolicyKind,
     PolicyOverrides, RunOutput,
