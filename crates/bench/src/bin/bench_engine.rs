@@ -5,24 +5,30 @@
 //!    (4 seeds × 4 policies) sequentially vs under 1/2/4/8 worker
 //!    threads, with a digest comparison proving every parallel pass is
 //!    bit-identical to the sequential one. Speedup scales with the
-//!    host's core count (the JSON records `cpus` so a 1-core CI runner's
-//!    ~1.0× is interpretable); the determinism check is the invariant
-//!    that must hold everywhere.
-//! 2. **MPC hot path** — mean ns per control period for the
-//!    pre-refactor allocating path (fresh `Mat` + bounds +
-//!    `QpProblem::new` + `solve` every period, replicated here
-//!    verbatim) vs the current in-place path
-//!    (`MpcController::compute`: preallocated problem + `QpWorkspace`,
-//!    `solve_with`).
+//!    host's core count; on a 1-core host the JSON carries
+//!    `"speedup_meaningful": false` and no speedup claims are printed
+//!    (the numbers are pure scheduling noise there). The determinism
+//!    check is the invariant that must hold everywhere.
+//! 2. **MPC hot path** — mean ns per control period at 64 channels for
+//!    three generations of the solve: the pre-workspace allocating path
+//!    (fresh `Mat` + bounds + `QpProblem::new` + `solve` every period,
+//!    replicated here verbatim), the dense FISTA workspace path
+//!    (`MpcBackend::DenseFista`), and the structured
+//!    diagonal-plus-rank-one path (`MpcBackend::Structured`, the
+//!    production default). An **agreement gate** runs both backends over
+//!    the same feedback sequence and requires the decision vectors to
+//!    match within 1e-6 with both KKT-certified.
 //!
 //! Flags: `--secs N` scenario length (default 120), `--out PATH`
-//! (default `BENCH_engine.json`), `--check` determinism-only mode for
-//! CI (small campaign, no timing sweep, exit 1 on digest mismatch).
+//! (default `BENCH_engine.json`), `--check` CI gate mode (small
+//! campaign, no wall-clock sweep; exit 1 on digest mismatch, on
+//! dense-vs-structured disagreement > 1e-6, or on a structured path
+//! slower than the dense one).
 
 use powersim::units::Seconds;
 use simkit::{Campaign, ExecConfig, PolicyKind, Scenario};
 use sprint_control::linalg::Mat;
-use sprint_control::mpc::{MpcConfig, MpcController};
+use sprint_control::mpc::{MpcBackend, MpcConfig, MpcController};
 use sprint_control::qp::QpProblem;
 use std::time::Instant;
 
@@ -135,12 +141,69 @@ fn compute_allocating(
     qp.x[0]
 }
 
-/// Deterministic feedback sequence shared by both measured paths.
+/// Deterministic feedback sequence shared by every measured path.
 fn feedback(i: usize) -> f64 {
     1500.0 + 80.0 * ((i as f64) * 0.37).sin()
 }
 
-fn bench_mpc_paths(channels: usize, periods: usize) -> (f64, f64) {
+/// Per-period cost of the three MPC generations, ns.
+struct MpcTimings {
+    alloc_ns: f64,
+    dense_ns: f64,
+    structured_ns: f64,
+}
+
+/// Worst-case dense-vs-structured deviation over a feedback sweep.
+struct Agreement {
+    max_solution_dev: f64,
+    max_kkt_residual: f64,
+}
+
+impl Agreement {
+    fn pass(&self, tol: f64) -> bool {
+        self.max_solution_dev <= tol && self.max_kkt_residual <= tol
+    }
+}
+
+fn mk_controller(channels: usize, backend: MpcBackend) -> MpcController {
+    MpcController::with_backend(
+        MpcConfig::paper_default(),
+        vec![15.0; channels],
+        vec![0.2; channels],
+        vec![1.0; channels],
+        backend,
+    )
+}
+
+/// The agreement gate: both backends on identical inputs, every period.
+/// Decision vectors must track within `1e-6` and both solves must stay
+/// KKT-certified — this is what licenses shipping the structured path as
+/// the default.
+fn check_agreement(channels: usize, periods: usize) -> Agreement {
+    let mut dense = mk_controller(channels, MpcBackend::DenseFista);
+    let mut structured = mk_controller(channels, MpcBackend::Structured);
+    let f_now = vec![0.6; channels];
+    let target = 1700.0;
+    let mut agg = Agreement {
+        max_solution_dev: 0.0,
+        max_kkt_residual: 0.0,
+    };
+    for i in 0..periods {
+        let a = dense.compute(feedback(i), target, &f_now);
+        let b = structured.compute(feedback(i), target, &f_now);
+        assert!(a.qp.converged && b.qp.converged, "period {i} diverged");
+        for (x, y) in a.qp.x.iter().zip(&b.qp.x) {
+            agg.max_solution_dev = agg.max_solution_dev.max((x - y).abs());
+        }
+        agg.max_kkt_residual = agg
+            .max_kkt_residual
+            .max(a.qp.kkt_residual)
+            .max(b.qp.kkt_residual);
+    }
+    agg
+}
+
+fn bench_mpc_paths(channels: usize, periods: usize) -> MpcTimings {
     let cfg = MpcConfig::paper_default();
     let gains = vec![15.0; channels];
     let fmin = vec![0.2; channels];
@@ -149,13 +212,15 @@ fn bench_mpc_paths(channels: usize, periods: usize) -> (f64, f64) {
     let f_now = vec![0.6; channels];
     let target = 1700.0;
 
-    let mut ctrl = MpcController::new(cfg, gains.clone(), fmin.clone(), fmax.clone());
-    let r_floor = ctrl.r_floor;
+    let mut dense = mk_controller(channels, MpcBackend::DenseFista);
+    let mut structured = mk_controller(channels, MpcBackend::Structured);
+    let r_floor = dense.r_floor;
     let mut sink = 0.0;
 
-    // Warm up both paths (page in, branch-train) before timing.
+    // Warm up all paths (page in, branch-train) before timing.
     for i in 0..10 {
-        sink += ctrl.compute(feedback(i), target, &f_now).freqs[0];
+        sink += dense.compute(feedback(i), target, &f_now).freqs[0];
+        sink += structured.compute(feedback(i), target, &f_now).freqs[0];
         sink += compute_allocating(
             &cfg,
             &gains,
@@ -183,16 +248,29 @@ fn bench_mpc_paths(channels: usize, periods: usize) -> (f64, f64) {
             &f_now,
         );
     }
-    let before_ns = t0.elapsed().as_nanos() as f64 / periods as f64;
+    let alloc_ns = t0.elapsed().as_nanos() as f64 / periods as f64;
 
     let t1 = Instant::now();
     for i in 0..periods {
-        sink += ctrl.compute(feedback(i), target, &f_now).freqs[0];
+        sink += dense.compute(feedback(i), target, &f_now).freqs[0];
     }
-    let after_ns = t1.elapsed().as_nanos() as f64 / periods as f64;
+    let dense_ns = t1.elapsed().as_nanos() as f64 / periods as f64;
+
+    // The structured path is orders of magnitude cheaper; run 50× the
+    // periods so the measurement isn't timer-resolution noise.
+    let structured_periods = periods * 50;
+    let t2 = Instant::now();
+    for i in 0..structured_periods {
+        sink += structured.compute(feedback(i), target, &f_now).freqs[0];
+    }
+    let structured_ns = t2.elapsed().as_nanos() as f64 / structured_periods as f64;
 
     std::hint::black_box(sink);
-    (before_ns, after_ns)
+    MpcTimings {
+        alloc_ns,
+        dense_ns,
+        structured_ns,
+    }
 }
 
 fn main() {
@@ -202,22 +280,59 @@ fn main() {
         .unwrap_or(1);
 
     if args.check_only {
-        // CI determinism gate: a small campaign, sequential vs 4 workers,
-        // digest-compared run by run.
+        // CI gate 1: determinism — a small campaign, sequential vs 4
+        // workers, digest-compared run by run (under the default
+        // structured MPC backend, so the gate also proves the new solver
+        // is seed-deterministic).
         let c = campaign(args.secs.min(30.0));
         let seq = c.run_sequential();
         let par = c.run_with(ExecConfig::jobs(4));
         let bad = digest_mismatches(&seq, &par);
-        if bad.is_empty() {
-            println!(
-                "determinism check passed: {} runs bit-identical (seq vs 4 workers)",
-                seq.len()
-            );
-            return;
+        if !bad.is_empty() {
+            eprintln!("DETERMINISM VIOLATION in {} runs: {bad:?}", bad.len());
+            std::process::exit(1);
         }
-        eprintln!("DETERMINISM VIOLATION in {} runs: {bad:?}", bad.len());
-        std::process::exit(1);
+        println!(
+            "determinism check passed: {} runs bit-identical (seq vs 4 workers)",
+            seq.len()
+        );
+        // CI gate 2: backend agreement — dense and structured must stay
+        // within 1e-6 of each other, KKT-certified.
+        let agreement = check_agreement(64, 50);
+        if !agreement.pass(1e-6) {
+            eprintln!(
+                "BACKEND DISAGREEMENT: max solution dev {:.3e}, max KKT residual {:.3e} (gate 1e-6)",
+                agreement.max_solution_dev, agreement.max_kkt_residual
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "agreement check passed: dense vs structured within {:.3e} (KKT ≤ {:.3e})",
+            agreement.max_solution_dev, agreement.max_kkt_residual
+        );
+        // CI gate 3: the structured path must actually be the fast one.
+        let t = bench_mpc_paths(64, 50);
+        if t.structured_ns >= t.dense_ns {
+            eprintln!(
+                "PERF REGRESSION: structured {:.0} ns/period ≥ dense {:.0} ns/period",
+                t.structured_ns, t.dense_ns
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "perf check passed: structured {:.0} ns/period vs dense {:.0} ns/period ({:.1}x)",
+            t.structured_ns,
+            t.dense_ns,
+            t.dense_ns / t.structured_ns
+        );
+        return;
     }
+
+    // Wall-clock speedups are only a claim worth making with real
+    // parallel hardware underneath; on a 1-core host the parallel passes
+    // still run (the determinism gate matters everywhere) but the ratios
+    // are scheduling noise, so we neither print nor emphasize them.
+    let speedup_meaningful = cpus > 1;
 
     println!("bench_engine: {cpus}-core host, {}s scenarios", args.secs);
     let c = campaign(args.secs);
@@ -241,17 +356,32 @@ fn main() {
         if !bad.is_empty() {
             eprintln!("  DETERMINISM VIOLATION: {bad:?}");
         }
-        println!("  {ms:.0} ms  (speedup {:.2}x)", seq_ms / ms);
+        if speedup_meaningful {
+            println!("  {ms:.0} ms  (speedup {:.2}x)", seq_ms / ms);
+        } else {
+            println!("  {ms:.0} ms  (1-core host; speedup not meaningful)");
+        }
         rows.push((jobs, ms));
     }
 
-    println!("MPC hot path, 64 channels x 200 periods...");
-    let (before_ns, after_ns) = bench_mpc_paths(64, 200);
+    println!("MPC agreement gate, 64 channels x 200 periods...");
+    let agreement = check_agreement(64, 200);
+    let agreement_ok = agreement.pass(1e-6);
     println!(
-        "  before (alloc per period): {:.0} ns/period\n  after  (workspace reuse) : {:.0} ns/period  ({:.2}x)",
-        before_ns,
-        after_ns,
-        before_ns / after_ns
+        "  max solution dev {:.3e}, max KKT residual {:.3e}  ({})",
+        agreement.max_solution_dev,
+        agreement.max_kkt_residual,
+        if agreement_ok { "pass" } else { "FAIL" }
+    );
+
+    println!("MPC hot path, 64 channels x 200 periods...");
+    let t = bench_mpc_paths(64, 200);
+    println!(
+        "  allocating (pre-workspace) : {:.0} ns/period\n  dense FISTA (workspace)    : {:.0} ns/period\n  structured rank-one (default): {:.0} ns/period  ({:.1}x vs dense)",
+        t.alloc_ns,
+        t.dense_ns,
+        t.structured_ns,
+        t.dense_ns / t.structured_ns
     );
 
     let jobs_json: Vec<String> = rows
@@ -264,17 +394,26 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"host\": {{\"cpus\": {cpus}}},\n  \"campaign\": {{\"runs\": {}, \"scenario_secs\": {}}},\n  \"wall_clock\": {{\"seq_ms\": {seq_ms:.1}, \"parallel\": [\n    {}\n  ]}},\n  \"determinism\": {{\"checked\": true, \"bit_identical\": {all_match}}},\n  \"mpc_hot_path\": {{\"channels\": 64, \"periods\": 200, \"before_ns_per_period\": {before_ns:.0}, \"after_ns_per_period\": {after_ns:.0}, \"improvement\": {:.3}}}\n}}\n",
+        "{{\n  \"host\": {{\"cpus\": {cpus}}},\n  \"campaign\": {{\"runs\": {}, \"scenario_secs\": {}}},\n  \"wall_clock\": {{\"seq_ms\": {seq_ms:.1}, \"speedup_meaningful\": {speedup_meaningful}, \"parallel\": [\n    {}\n  ]}},\n  \"determinism\": {{\"checked\": true, \"bit_identical\": {all_match}}},\n  \"mpc_hot_path\": {{\"channels\": 64, \"periods\": 200, \"alloc_ns_per_period\": {:.0}, \"dense_ns_per_period\": {:.0}, \"structured_ns_per_period\": {:.0}, \"speedup_structured_vs_dense\": {:.1}, \"agreement\": {{\"max_solution_dev\": {:.3e}, \"max_kkt_residual\": {:.3e}, \"pass\": {agreement_ok}}}}}\n}}\n",
         c.len(),
         args.secs,
         jobs_json.join(",\n    "),
-        before_ns / after_ns,
+        t.alloc_ns,
+        t.dense_ns,
+        t.structured_ns,
+        t.dense_ns / t.structured_ns,
+        agreement.max_solution_dev,
+        agreement.max_kkt_residual,
     );
     std::fs::write(&args.out, &json).expect("write BENCH_engine.json");
     println!("wrote {}", args.out);
 
     if !all_match {
         eprintln!("determinism check FAILED");
+        std::process::exit(1);
+    }
+    if !agreement_ok {
+        eprintln!("agreement check FAILED");
         std::process::exit(1);
     }
 }

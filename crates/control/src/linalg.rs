@@ -313,6 +313,17 @@ pub fn norm_inf(x: &[f64]) -> f64 {
     x.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
 }
 
+/// Project `x` onto the box `[lo, hi]` elementwise (in place).
+pub fn project_box(x: &mut [f64], lo: &[f64], hi: &[f64]) {
+    assert!(
+        x.len() == lo.len() && x.len() == hi.len(),
+        "box shape mismatch"
+    );
+    for ((xi, l), h) in x.iter_mut().zip(lo).zip(hi) {
+        *xi = xi.clamp(*l, *h);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -410,6 +421,13 @@ mod tests {
         assert_eq!(y, vec![3.0, -1.0]);
         assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
         assert_eq!(norm_inf(&[1.0, -7.0, 3.0]), 7.0);
+    }
+
+    #[test]
+    fn project_box_clamps_elementwise() {
+        let mut x = vec![-2.0, 0.5, 3.0];
+        project_box(&mut x, &[0.0, 0.0, 0.0], &[1.0, 1.0, 1.0]);
+        assert_eq!(x, vec![0.0, 0.5, 1.0]);
     }
 
     #[test]

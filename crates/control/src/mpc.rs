@@ -23,6 +23,53 @@
 
 use crate::linalg::Mat;
 use crate::qp::{QpProblem, QpSolution, QpWorkspace};
+use crate::qp_structured::solve_blocks_into;
+
+/// Which QP machinery [`MpcController::compute`] runs each period.
+///
+/// Both backends minimize the same Eq. (8) cost over the same Eq. (9)
+/// box; they agree to well under 1e-6 in solution and KKT residual (the
+/// `bench_engine` agreement gate and the closed-loop tests enforce it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MpcBackend {
+    /// Exploit the block-separable diagonal-plus-rank-one structure of
+    /// the Eq. (8) Hessian: per-block scalars assembled directly (no
+    /// dense matrix is ever built) and each block solved by the O(n)
+    /// root find of [`crate::qp_structured`]. The production default —
+    /// a control period costs O(n·Lc) instead of O((n·Lc)²) per FISTA
+    /// iteration.
+    #[default]
+    Structured,
+    /// Materialize the dense Hessian and run FISTA
+    /// ([`QpProblem::solve_with`]). Kept as the cross-validation
+    /// reference and for problems whose structure assumptions break
+    /// (e.g. a degenerate `r_scale = 0` penalty).
+    DenseFista,
+}
+
+/// Tracking-step count feeding control block `b`: blocks before the last
+/// feed exactly one prediction step; the last block holds for the rest of
+/// the horizon (decision `x[b·n + j]` = planned absolute frequency of
+/// channel `j` in block `b`, and the power predicted at `t+s` uses block
+/// `min(s−1, lc−1)`). Free function so assembly code holding field
+/// borrows can call it.
+fn steps_fed(lp: usize, lc: usize, b: usize) -> usize {
+    if b + 1 < lc {
+        1
+    } else {
+        lp - (lc - 1)
+    }
+}
+
+/// Eq. (7) reference trajectory: the power wanted `steps` periods ahead,
+/// approaching `target` exponentially from the measured feedback `p_fb`
+/// with time constant `tau_r`. Free function so the hot-path assembly
+/// (which holds field borrows) and [`MpcController::reference`] share one
+/// definition.
+pub fn reference_at(target: f64, p_fb: f64, steps: usize, period: f64, tau_r: f64) -> f64 {
+    let decay = (-(steps as f64) * period / tau_r).exp();
+    target - decay * (target - p_fb)
+}
 
 /// Static MPC configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -84,10 +131,32 @@ pub struct MpcController {
     /// Preallocated QP instance: `H`/`g` are rebuilt in place every
     /// control period, `lo`/`hi` are the box bounds replicated per block
     /// and never change. Reusing it removes the per-period `Mat::zeros`
-    /// (512 KiB at 128 channels × 2 blocks) and bound-vector churn.
+    /// (512 KiB at 128 channels × 2 blocks) and bound-vector churn. The
+    /// structured backend only reads its `lo`/`hi`.
     qp: QpProblem,
-    /// Preallocated FISTA iteration buffers, reused across periods.
+    /// Preallocated FISTA iteration buffers, reused across periods
+    /// (dense backend only).
     ws: QpWorkspace,
+    /// Which solver `compute` runs.
+    backend: MpcBackend,
+    /// Preallocated structured-assembly buffers, reused across periods.
+    sb: StructuredBuffers,
+}
+
+/// Scratch for the structured backend: the per-block coupling scalars
+/// plus the diagonal/linear terms and solution over the full `n·Lc`
+/// decision vector. Sized once at construction; the hot path rebuilds
+/// them in place.
+#[derive(Debug, Clone, Default)]
+struct StructuredBuffers {
+    /// Per-block rank-one weight `c_b = 2q·(tracking steps fed)`.
+    c: Vec<f64>,
+    /// Diagonal `d` (progress penalties), length `n·Lc`.
+    d: Vec<f64>,
+    /// Linear term `g`, length `n·Lc`.
+    g: Vec<f64>,
+    /// Solution vector, length `n·Lc`.
+    x: Vec<f64>,
 }
 
 /// One control decision.
@@ -102,7 +171,19 @@ pub struct MpcDecision {
 }
 
 impl MpcController {
+    /// Build a controller on the default [`MpcBackend::Structured`]
+    /// solver.
     pub fn new(cfg: MpcConfig, gains: Vec<f64>, fmin: Vec<f64>, fmax: Vec<f64>) -> Self {
+        Self::with_backend(cfg, gains, fmin, fmax, MpcBackend::default())
+    }
+
+    pub fn with_backend(
+        cfg: MpcConfig,
+        gains: Vec<f64>,
+        fmin: Vec<f64>,
+        fmax: Vec<f64>,
+        backend: MpcBackend,
+    ) -> Self {
         cfg.validate();
         let n = gains.len();
         assert!(n > 0, "controller needs at least one channel");
@@ -130,7 +211,24 @@ impl MpcController {
             r_floor: 0.05,
             qp,
             ws: QpWorkspace::new(dim),
+            backend,
+            sb: StructuredBuffers {
+                c: vec![0.0; cfg.lc],
+                d: vec![0.0; dim],
+                g: vec![0.0; dim],
+                x: vec![0.0; dim],
+            },
         }
+    }
+
+    pub fn backend(&self) -> MpcBackend {
+        self.backend
+    }
+
+    /// Switch solvers in place (state is per-period, so this is safe at
+    /// any period boundary).
+    pub fn set_backend(&mut self, backend: MpcBackend) {
+        self.backend = backend;
     }
 
     pub fn num_channels(&self) -> usize {
@@ -158,27 +256,120 @@ impl MpcController {
     /// Reference trajectory (Eq. (7)): the power the controller wants at
     /// `x` periods ahead, given feedback `p_fb` and set point `target`.
     pub fn reference(&self, target: f64, p_fb: f64, x: usize) -> f64 {
-        let decay = (-(x as f64) * self.cfg.period / self.cfg.tau_r).exp();
-        target - decay * (target - p_fb)
+        reference_at(target, p_fb, x, self.cfg.period, self.cfg.tau_r)
     }
 
     /// Solve one control period: measured feedback power `p_fb`
     /// (Eq. (6)), set point `target` (`P_batch`), current channel
     /// frequencies `f_now`.
     ///
-    /// Steady-state hot path: the QP's `H`/`g` are rebuilt in place
-    /// inside the preallocated problem and the FISTA iterations run in
-    /// the controller's [`QpWorkspace`], so a control period performs no
+    /// Steady-state hot path: both backends rebuild their problem data in
+    /// place inside preallocated buffers, so a control period performs no
     /// matrix or iteration-buffer allocation (only the returned
-    /// decision's two small `Vec`s are fresh).
+    /// decision's two small `Vec`s are fresh). The structured default
+    /// never materializes a Hessian at all — total per-period cost is
+    /// O(n·Lc) assembly plus an O(n) root find per block, against the
+    /// dense path's O((n·Lc)²) assembly and per-iteration matvecs.
     pub fn compute(&mut self, p_fb: f64, target: f64, f_now: &[f64]) -> MpcDecision {
         let _timer = telemetry::span("mpc_compute");
         let n = self.num_channels();
         assert_eq!(f_now.len(), n);
+        let qp = match self.backend {
+            MpcBackend::Structured => self.solve_structured(p_fb, target, f_now),
+            MpcBackend::DenseFista => self.solve_dense(p_fb, target, f_now),
+        };
+        telemetry::histogram_observe("mpc_solve_iters", qp.iterations as f64);
+        if !qp.converged {
+            telemetry::counter_add("mpc_qp_fallback", 1);
+        }
+        let freqs: Vec<f64> = qp.x[..n].to_vec();
+        let predicted_power = p_fb
+            + self
+                .gains
+                .iter()
+                .zip(freqs.iter().zip(f_now))
+                .map(|(k, (y, f))| k * (y - f))
+                .sum::<f64>();
+        MpcDecision {
+            freqs,
+            predicted_power,
+            qp,
+        }
+    }
+
+    /// Structured hot path: assemble the Eq. (8) cost directly in its
+    /// block-separable diagonal-plus-rank-one form — per-block coupling
+    /// scalar `c_b`, shared gain vector `k`, diagonal `d`, linear `g` —
+    /// and solve each block with the O(n) root find of
+    /// [`crate::qp_structured`]. No dense Hessian, no row-sum Lipschitz
+    /// bound, no dense matvecs.
+    fn solve_structured(&mut self, p_fb: f64, target: f64, f_now: &[f64]) -> QpSolution {
+        let _timer = telemetry::span("qp_solve_time");
+        let n = self.num_channels();
+        let (lp, lc) = (self.cfg.lp, self.cfg.lc);
+        let q = self.cfg.q;
+        let kf: f64 = self.gains.iter().zip(f_now).map(|(k, f)| k * f).sum();
+
+        // Tracking terms: each prediction step adds q·(kᵀy_b − b_s)² to
+        // its block, i.e. 2q·kkᵀ to the Hessian and −2q·b_s·k to g.
+        // Summed per block that is c_b = 2q·steps_fed(b) on the rank-one
+        // part and −2q·(Σ_s b_s)·k on the linear part.
+        let sb = &mut self.sb;
+        sb.g.fill(0.0);
+        for b in 0..lc {
+            sb.c[b] = 2.0 * q * steps_fed(lp, lc, b) as f64;
+        }
+        for step in 1..=lp {
+            let b = step.min(lc) - 1;
+            let reference = reference_at(target, p_fb, step, self.cfg.period, self.cfg.tau_r);
+            let bn = reference - p_fb + kf;
+            for j in 0..n {
+                sb.g[b * n + j] += -2.0 * q * bn * self.gains[j];
+            }
+        }
+
+        // Control-penalty terms: r_j·(y_{j,b} − fmax_j)² per block,
+        // horizon-balanced by the share of tracking steps the block
+        // feeds (see the dense path for why) — these are exactly the
+        // diagonal d and the peak-pull part of g.
+        for b in 0..lc {
+            let share = steps_fed(lp, lc, b) as f64 / lp as f64;
+            for j in 0..n {
+                let rj = self.cfg.r_scale * self.r[j].max(self.r_floor) * share;
+                sb.d[b * n + j] = 2.0 * rj;
+                sb.g[b * n + j] += -2.0 * rj * self.fmax[j];
+            }
+        }
+
+        let (evals, converged, kkt_residual) = solve_blocks_into(
+            &sb.c,
+            &self.gains,
+            &sb.d,
+            &sb.g,
+            &self.qp.lo,
+            &self.qp.hi,
+            &mut sb.x,
+            1e-7,
+            200,
+        );
+        let sol = QpSolution {
+            x: sb.x.clone(),
+            kkt_residual,
+            iterations: evals,
+            converged,
+        };
+        crate::qp::record_solve(&sol);
+        sol
+    }
+
+    /// Dense reference path: materialize the Eq. (8) Hessian in the
+    /// preallocated [`QpProblem`] and run FISTA in the controller's
+    /// [`QpWorkspace`]. Kept for cross-validation against the structured
+    /// backend (and for degenerate penalty configurations).
+    fn solve_dense(&mut self, p_fb: f64, target: f64, f_now: &[f64]) -> QpSolution {
+        let n = self.num_channels();
         let (lp, lc) = (self.cfg.lp, self.cfg.lc);
 
-        // Decision x[b*n + j] = planned absolute frequency of channel j in
-        // control block b. Power predicted at t+n uses block min(n−1, lc−1).
         // Only the lc diagonal n×n blocks of H are ever touched (tracking
         // couples channels within a block, never across blocks), so only
         // those entries need re-zeroing.
@@ -198,10 +389,7 @@ impl MpcController {
         let kf: f64 = self.gains.iter().zip(f_now).map(|(k, f)| k * f).sum();
         for step in 1..=lp {
             let b = step.min(lc) - 1; // control block feeding this step
-                                      // [`Self::reference`] inlined: `h`/`g` hold field borrows, so
-                                      // a `&self` method call is unavailable here.
-            let decay = (-(step as f64) * self.cfg.period / self.cfg.tau_r).exp();
-            let reference = target - decay * (target - p_fb);
+            let reference = reference_at(target, p_fb, step, self.cfg.period, self.cfg.tau_r);
             let bn = reference - p_fb + kf;
             let q = self.cfg.q;
             for j in 0..n {
@@ -220,8 +408,7 @@ impl MpcController {
         // single tracking step and the loop settles with a bias toward
         // peak — visible on low-gain plants.
         for b in 0..lc {
-            let steps_fed = if b + 1 < lc { 1 } else { lp - (lc - 1) };
-            let share = steps_fed as f64 / lp as f64;
+            let share = steps_fed(lp, lc, b) as f64 / lp as f64;
             for j in 0..n {
                 let rj = self.cfg.r_scale * self.r[j].max(self.r_floor) * share;
                 h[(b * n + j, b * n + j)] += 2.0 * rj;
@@ -229,24 +416,7 @@ impl MpcController {
             }
         }
 
-        let qp = self.qp.solve_with(&mut self.ws, 1e-7, 2_000);
-        telemetry::histogram_observe("mpc_solve_iters", qp.iterations as f64);
-        if !qp.converged {
-            telemetry::counter_add("mpc_qp_fallback", 1);
-        }
-        let freqs: Vec<f64> = qp.x[..n].to_vec();
-        let predicted_power = p_fb
-            + self
-                .gains
-                .iter()
-                .zip(freqs.iter().zip(f_now))
-                .map(|(k, (y, f))| k * (y - f))
-                .sum::<f64>();
-        MpcDecision {
-            freqs,
-            predicted_power,
-            qp,
-        }
+        self.qp.solve_with(&mut self.ws, 1e-7, 2_000)
     }
 }
 
@@ -436,6 +606,74 @@ mod tests {
         let d = ctrl.compute(p_now, p_now, &f_now);
         let moved: f64 = d.freqs.iter().zip(&f_now).map(|(a, b)| (a - b).abs()).sum();
         assert!(moved < 0.2, "moved {moved}");
+    }
+
+    #[test]
+    fn backends_agree_on_single_periods() {
+        // Same inputs through both solvers: full decision vectors within
+        // 1e-6 and both KKT-certified.
+        let mk = |backend| {
+            MpcController::with_backend(
+                MpcConfig::paper_default(),
+                vec![15.0; 6],
+                vec![0.2; 6],
+                vec![1.0; 6],
+                backend,
+            )
+        };
+        let mut structured = mk(MpcBackend::Structured);
+        let mut dense = mk(MpcBackend::DenseFista);
+        assert_eq!(structured.backend(), MpcBackend::Structured);
+        for &(p_fb, target) in &[(0.0, 500.0), (500.0, 0.0), (60.0, 60.0), (30.0, 90.0)] {
+            let a = structured.compute(p_fb, target, &[0.5; 6]);
+            let b = dense.compute(p_fb, target, &[0.5; 6]);
+            assert!(a.qp.converged && b.qp.converged);
+            assert!(a.qp.kkt_residual < 1e-6 && b.qp.kkt_residual < 1e-6);
+            for (x, y) in a.qp.x.iter().zip(&b.qp.x) {
+                assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn backends_track_the_same_closed_loop_trajectory() {
+        // Run the toy plant under each backend independently; the power
+        // trajectories must stay together for the whole run (per-period
+        // solver deviation is ≤ 1e-6 and the loop is contractive, so
+        // differences must not accumulate).
+        let run = |backend| {
+            let mut ctrl = MpcController::with_backend(
+                MpcConfig::paper_default(),
+                vec![15.0; 4],
+                vec![0.2; 4],
+                vec![1.0; 4],
+                backend,
+            );
+            ctrl.set_penalty_weights(&[2.0, 1.0, 0.3, 0.1]);
+            let mut plant = Plant {
+                k: vec![17.0; 4], // deliberate model error
+                base: 10.0,
+                f: vec![1.0; 4],
+            };
+            run_loop(&mut ctrl, &mut plant, 45.0, 60)
+        };
+        let hs = run(MpcBackend::Structured);
+        let hd = run(MpcBackend::DenseFista);
+        for (i, (a, b)) in hs.iter().zip(&hd).enumerate() {
+            assert!((a - b).abs() < 1e-3, "step {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn set_backend_switches_in_place() {
+        let mut ctrl = controller(3);
+        let a = ctrl.compute(30.0, 60.0, &[0.5; 3]);
+        ctrl.set_backend(MpcBackend::DenseFista);
+        assert_eq!(ctrl.backend(), MpcBackend::DenseFista);
+        let b = ctrl.compute(30.0, 60.0, &[0.5; 3]);
+        for (x, y) in a.freqs.iter().zip(&b.freqs) {
+            assert!((x - y).abs() < 1e-6);
+        }
     }
 
     #[test]

@@ -55,8 +55,10 @@ pub struct QpSolution {
 }
 
 /// Record a finished solve into the active telemetry collector (if any):
-/// iteration histogram plus total/non-converged counters.
-fn record_solve(sol: &QpSolution) {
+/// iteration histogram plus total/non-converged counters. Shared with the
+/// structured backend in [`crate::qp_structured`] via the MPC, so
+/// `qp_solve_total` keeps counting every real solve regardless of path.
+pub(crate) fn record_solve(sol: &QpSolution) {
     telemetry::counter_add("qp_solve_total", 1);
     telemetry::histogram_observe("qp_solve_iters", sol.iterations as f64);
     if !sol.converged {
@@ -145,9 +147,7 @@ impl QpProblem {
     }
 
     fn project(&self, x: &mut [f64]) {
-        for ((xi, lo), hi) in x.iter_mut().zip(&self.lo).zip(&self.hi) {
-            *xi = xi.clamp(*lo, *hi);
-        }
+        crate::linalg::project_box(x, &self.lo, &self.hi);
     }
 
     /// Projected-KKT residual at `x` with unit step:
@@ -354,6 +354,11 @@ impl QpProblem {
     pub fn solve_coordinate_descent(&self, tol: f64, max_sweeps: usize) -> QpSolution {
         let _timer = telemetry::span("qp_solve_time");
         let n = self.dim();
+        // The diagonal never changes between sweeps: validate it once
+        // here instead of re-asserting every coordinate of every sweep.
+        for i in 0..n {
+            assert!(self.h[(i, i)] > 0.0, "Hessian diagonal must be positive");
+        }
         let mut x: Vec<f64> = self
             .lo
             .iter()
@@ -364,7 +369,6 @@ impl QpProblem {
             let mut max_move = 0.0_f64;
             for i in 0..n {
                 let hii = self.h[(i, i)];
-                assert!(hii > 0.0, "Hessian diagonal must be positive");
                 let mut s = self.g[i];
                 for (j, xj) in x.iter().enumerate() {
                     if j != i {

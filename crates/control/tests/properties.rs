@@ -3,8 +3,9 @@
 use proptest::prelude::*;
 use sprint_control::kalman::Kalman1d;
 use sprint_control::linalg::Mat;
-use sprint_control::mpc::{MpcConfig, MpcController};
+use sprint_control::mpc::{MpcBackend, MpcConfig, MpcController};
 use sprint_control::qp::QpProblem;
+use sprint_control::qp_structured::RankOneDiagQp;
 use sprint_control::reference::ExpReference;
 use sprint_control::stability::{scalar_pole, LoopParams};
 
@@ -55,6 +56,44 @@ proptest! {
         }
     }
 
+    /// The structured diagonal-plus-rank-one solver agrees with exact
+    /// coordinate descent on the materialized dense Hessian, across
+    /// random gains (both signs), weights, and crossed-activity bounds —
+    /// including the all-pinned (lo = hi) and effectively-unconstrained
+    /// (huge box) corners, steered by `pin`/`widen`.
+    #[test]
+    fn structured_solver_agrees_with_coordinate_descent(
+        c in 0.0f64..5.0,
+        k in proptest::collection::vec(-6.0f64..6.0, 5),
+        d in proptest::collection::vec(0.05f64..5.0, 5),
+        g in proptest::collection::vec(-8.0f64..8.0, 5),
+        lo in proptest::collection::vec(-2.0f64..0.5, 5),
+        width in proptest::collection::vec(0.0f64..2.0, 5),
+        pin in proptest::bool::ANY,
+        widen in proptest::bool::ANY,
+    ) {
+        let n = 5;
+        let hi: Vec<f64> = if pin {
+            lo.clone() // every coordinate pinned at its bound
+        } else if widen {
+            lo.iter().map(|_| 1e6).collect() // effectively unconstrained above
+        } else {
+            lo.iter().zip(&width).map(|(l, w)| l + w).collect()
+        };
+        let lo = if widen { vec![-1e6; n] } else { lo };
+        let block = RankOneDiagQp { c, k: &k, d: &d, g: &g, lo: &lo, hi: &hi };
+        let mut y = vec![0.0; n];
+        let s = block.solve_into(&mut y, 1e-9, 300);
+        prop_assert!(s.converged);
+        prop_assert!(block.kkt_residual(&y) < 1e-7);
+        let p = QpProblem::new(block.dense_hessian(), g.clone(), lo.clone(), hi.clone());
+        let reference = p.solve_coordinate_descent(1e-10, 100_000);
+        prop_assert!(reference.converged);
+        for (a, b) in y.iter().zip(&reference.x) {
+            prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
     /// Cholesky solve actually solves: `A·x = b` to high accuracy for
     /// random SPD systems.
     #[test]
@@ -101,6 +140,31 @@ proptest! {
         let err = (p_of(&f) - target).abs();
         // Within a couple of watts + the tiny peak-pull offset.
         prop_assert!(err < 3.0 + 0.02 * (hi - lo), "err={err}");
+    }
+
+    /// The two MPC backends produce the same decision vector for any
+    /// single control period (random gains, feedback, target, start).
+    #[test]
+    fn mpc_backends_agree_single_period(
+        k in 5.0f64..40.0,
+        p_fb in 0.0f64..200.0,
+        target in 0.0f64..200.0,
+        f in 0.2f64..1.0,
+        n in 2usize..6,
+    ) {
+        let mk = |backend| MpcController::with_backend(
+            MpcConfig::paper_default(),
+            vec![k; n],
+            vec![0.2; n],
+            vec![1.0; n],
+            backend,
+        );
+        let da = mk(MpcBackend::Structured).compute(p_fb, target, &vec![f; n]);
+        let db = mk(MpcBackend::DenseFista).compute(p_fb, target, &vec![f; n]);
+        prop_assert!(da.qp.converged && db.qp.converged);
+        for (x, y) in da.qp.x.iter().zip(&db.qp.x) {
+            prop_assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+        }
     }
 
     /// Scalar closed-loop pole: stable for any gain ratio inside the

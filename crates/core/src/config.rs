@@ -4,7 +4,7 @@ use powersim::breaker::BreakerSpec;
 use powersim::server::ServerSpec;
 use powersim::units::{Seconds, Watts};
 use powersim::ups::UpsSpec;
-use sprint_control::mpc::MpcConfig;
+use sprint_control::mpc::{MpcBackend, MpcConfig};
 
 /// Full system configuration.
 #[derive(Debug, Clone)]
@@ -44,6 +44,11 @@ pub struct SprintConConfig {
 
     // --- server power controller (§V-B) ---
     pub mpc: MpcConfig,
+    /// Which QP backend the MPC runs each period. The structured default
+    /// exploits the Eq. (8) block-separable diagonal-plus-rank-one
+    /// Hessian (O(n) per period); the dense FISTA path is the
+    /// cross-validation reference.
+    pub mpc_backend: MpcBackend,
     /// Assumed batch-core utilization when fitting the linear model.
     pub assumed_batch_util: f64,
 
@@ -218,6 +223,7 @@ impl SprintConConfig {
             control_period: Seconds(1.0),
             allocator_period: Seconds(30.0),
             mpc: MpcConfig::paper_default(),
+            mpc_backend: MpcBackend::default(),
             assumed_batch_util: 0.95,
             inter_pressure_high: 0.9,
             inter_pressure_low: 0.4,

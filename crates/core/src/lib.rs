@@ -64,5 +64,6 @@ pub use bidding::{allocate_power_bids, BidAllocation, PowerBid};
 pub use chip_quota::{divide_quota, QuotaPolicy};
 pub use config::{ConfigError, SprintConConfig};
 pub use server_controller::ServerPowerController;
+pub use sprint_control::mpc::MpcBackend;
 pub use supervisor::{SprintCon, SprintConInputs, SprintConOutputs, SprintMode};
 pub use ups_controller::UpsPowerController;

@@ -70,7 +70,7 @@ impl ServerPowerController {
             period: cfg.control_period.0,
         });
         ServerPowerController {
-            mpc: MpcController::new(cfg.mpc, gains, fmin, fmax),
+            mpc: MpcController::with_backend(cfg.mpc, gains, fmin, fmax, cfg.mpc_backend),
             inter_models,
             batch_models,
             batch_cores_per_server: m,
@@ -424,6 +424,40 @@ mod tests {
         // Recovery: finite inputs go straight back through the MPC.
         let back = ctrl.control(Watts(4200.0), &utils, Watts(1700.0), &freqs);
         assert!(back.qp.converged, "recovered path must use the QP again");
+    }
+
+    #[test]
+    fn dense_backend_tracks_like_the_structured_default() {
+        // The full controller (nonlinear plant, quantized DVFS) under
+        // each MPC backend: both loops must settle on the same target.
+        // DVFS snapping can flip individual P-state steps between the
+        // two, so the comparison is on tracking power, not per-core bits.
+        let run = |backend| {
+            let mut c = cfg();
+            c.mpc_backend = backend;
+            let mut ctrl = ServerPowerController::new(&c);
+            let mut rk = rack(&c);
+            for id in rk.cores_with_role(CoreRole::Interactive) {
+                rk.set_util(id, Utilization(0.65));
+            }
+            for id in rk.cores_with_role(CoreRole::Batch) {
+                rk.set_util(id, Utilization(0.95));
+            }
+            let utils = rk.interactive_util_vector();
+            for _ in 0..40 {
+                let p_total = rk.power();
+                let d = ctrl.control(p_total, &utils, Watts(1700.0), &batch_freqs(&rk));
+                apply(&mut rk, &ctrl, &d.freqs);
+            }
+            ctrl.feedback_power(rk.power(), &utils).0
+        };
+        let structured = run(sprint_control::mpc::MpcBackend::Structured);
+        let dense = run(sprint_control::mpc::MpcBackend::DenseFista);
+        assert!(
+            (structured - dense).abs() < 5.0,
+            "structured={structured} dense={dense}"
+        );
+        assert!((structured - 1700.0).abs() < 100.0, "p_fb={structured}");
     }
 
     #[test]

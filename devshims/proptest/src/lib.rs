@@ -141,6 +141,23 @@ impl<S: Strategy> Strategy for &S {
     }
 }
 
+/// Boolean strategy (`proptest::bool::ANY`), mirroring the real crate's
+/// module of the same name.
+pub mod bool {
+    /// Uniform true/false.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl crate::Strategy for Any {
+        type Value = core::primitive::bool;
+        fn sample(&self, rng: &mut crate::TestRng) -> core::primitive::bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
 /// Collection strategies (`proptest::collection::vec`).
 pub mod collection {
     use super::{Strategy, TestRng};
