@@ -10,7 +10,8 @@
 //! slightly above its budget and tripping the breaker — no artificial
 //! error is injected anywhere.
 
-use powersim::rack::Rack;
+use powersim::cpu::CoreRole;
+use powersim::rack::{CoreId, Rack};
 use powersim::units::{NormFreq, Watts};
 
 /// Linear idle↔full interpolation estimator.
@@ -37,17 +38,22 @@ impl LinearRackEstimator {
     /// (rack order: server-major), using the rack's *current measured*
     /// utilizations.
     pub fn estimate(&self, rack: &Rack, freqs: &[NormFreq]) -> Watts {
-        let mut idx = 0;
+        assert_eq!(freqs.len(), rack.num_cores(), "one frequency per core");
+        let iv = rack.role(CoreRole::Interactive);
+        let bv = rack.role(CoreRole::Batch);
+        let cps = rack.cores_per_server();
         let mut total = 0.0;
-        for server in &rack.servers {
+        for s in 0..rack.num_servers() {
             total += self.idle_per_server;
-            for core in &server.cores {
-                let f = freqs[idx];
-                total += self.span_per_core * f.0.clamp(0.0, 1.0) * core.util.0.clamp(0.0, 1.0);
-                idx += 1;
+            // Candidate freqs are in core order (interactive block first
+            // within each server — the rack's core numbering).
+            let base = s * cps;
+            let utils = iv.server_utils(s).iter().chain(bv.server_utils(s));
+            for (k, &u) in utils.enumerate() {
+                let f = freqs[base + k];
+                total += self.span_per_core * f.0.clamp(0.0, 1.0) * u.clamp(0.0, 1.0);
             }
         }
-        assert_eq!(idx, freqs.len(), "one frequency per core");
         Watts(total)
     }
 }
@@ -87,24 +93,27 @@ impl CalibratedRackEstimator {
     /// Estimate rack power for a candidate frequency vector using the
     /// rack's measured utilizations.
     pub fn estimate(&self, rack: &Rack, freqs: &[NormFreq]) -> Watts {
-        let mut idx = 0;
+        assert_eq!(freqs.len(), rack.num_cores(), "one frequency per core");
+        let iv = rack.role(CoreRole::Interactive);
+        let bv = rack.role(CoreRole::Batch);
+        let cps = rack.cores_per_server();
+        let m = cps as f64;
         let mut total = 0.0;
-        for server in &rack.servers {
+        for s in 0..rack.num_servers() {
             total += self.idle_per_server;
             let mut tp = 0.0;
-            let m = server.cores.len() as f64;
-            for core in &server.cores {
-                let f = freqs[idx].0.clamp(0.0, 1.0);
-                let u = core.util.0.clamp(0.0, 1.0);
+            let base = s * cps;
+            let utils = iv.server_utils(s).iter().chain(bv.server_utils(s));
+            for (k, &util) in utils.enumerate() {
+                let f = freqs[base + k].0.clamp(0.0, 1.0);
+                let u = util.clamp(0.0, 1.0);
                 let shape = self.cubic_fraction * f.powi(3) + (1.0 - self.cubic_fraction) * f;
                 total += self.cpu_peak_per_core * shape * u;
                 tp += f * u;
-                idx += 1;
             }
             // Linear (not concave) non-CPU model: the calibration error.
             total += self.noncpu_span * (tp / m);
         }
-        assert_eq!(idx, freqs.len(), "one frequency per core");
         Watts(total)
     }
 }
@@ -115,16 +124,16 @@ impl CalibratedRackEstimator {
 /// for a candidate frequency vector.
 pub fn oracle_power(rack: &Rack, freqs: &[NormFreq]) -> Watts {
     let mut probe = rack.clone();
-    let mut idx = 0;
-    for (s, server) in probe.servers.iter_mut().enumerate() {
-        let _ = s;
-        for core in server.cores.iter_mut() {
-            // Ideal actuation: continuous frequencies, no ladder snap.
-            core.freq = freqs[idx].clamp(NormFreq(0.0), NormFreq(1.0));
-            idx += 1;
-        }
+    assert_eq!(freqs.len(), probe.num_cores(), "one frequency per core");
+    let cps = probe.cores_per_server();
+    for (idx, &f) in freqs.iter().enumerate() {
+        let id = CoreId {
+            server: idx / cps,
+            core: idx % cps,
+        };
+        // Ideal actuation: continuous frequencies, no ladder snap.
+        probe.set_freq_unquantized(id, f.clamp(NormFreq(0.0), NormFreq(1.0)));
     }
-    assert_eq!(idx, freqs.len(), "one frequency per core");
     probe.power()
 }
 
@@ -136,7 +145,12 @@ mod tests {
     use powersim::units::Utilization;
 
     fn rack() -> Rack {
-        Rack::homogeneous(ServerSpec::paper_default(), 4, 4)
+        Rack::builder()
+            .server(ServerSpec::paper_default())
+            .num_servers(4)
+            .interactive_cores_per_server(4)
+            .build()
+            .expect("valid rack")
     }
 
     fn est() -> LinearRackEstimator {
@@ -217,13 +231,13 @@ mod tests {
         // Apply the same frequencies for real (continuous scale needed
         // to dodge ladder quantization in the comparison).
         let mut applied = rk.clone();
-        let mut idx = 0;
-        for server in applied.servers.iter_mut() {
-            server.spec.freq_scale = powersim::cpu::FreqScale::continuous();
-            for core in 0..8 {
-                server.set_core_freq(core, freqs[idx]);
-                idx += 1;
-            }
+        applied.set_freq_scale(powersim::cpu::FreqScale::continuous());
+        for (idx, &f) in freqs.iter().enumerate() {
+            let id = CoreId {
+                server: idx / 8,
+                core: idx % 8,
+            };
+            applied.set_freq(id, f);
         }
         assert!((applied.power().0 - p.0).abs() < 1e-9);
     }

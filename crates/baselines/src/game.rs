@@ -24,20 +24,20 @@ pub enum SprintRanking {
 
 /// Rank every core of the rack for this epoch, highest priority first.
 pub fn rank_cores(rack: &Rack, ranking: SprintRanking) -> Vec<CoreId> {
-    let mut ids: Vec<CoreId> = Vec::new();
-    for (s, server) in rack.servers.iter().enumerate() {
-        for c in 0..server.cores.len() {
+    let mut ids: Vec<CoreId> = Vec::with_capacity(rack.num_cores());
+    for s in 0..rack.num_servers() {
+        for c in 0..rack.cores_per_server() {
             ids.push(CoreId { server: s, core: c });
         }
     }
     let key = |id: &CoreId| -> (u8, f64, u8) {
-        let core = &rack.servers[id.server].cores[id.core];
+        let role = rack.role_of(*id);
         let (class, tie) = match ranking {
             // §VI-B: utilization is the demand metric; batch cores (which
             // never idle between requests) win *exact* ties only.
             SprintRanking::ByUtilization => (
                 0,
-                match core.role {
+                match role {
                     CoreRole::Batch => 1,
                     CoreRole::Interactive => 0,
                 },
@@ -45,14 +45,14 @@ pub fn rank_cores(rack: &Rack, ranking: SprintRanking) -> Vec<CoreId> {
             // SGCT-V2: interactive cores outrank batch outright, each
             // group utilization-ordered.
             SprintRanking::InteractiveFirst => (
-                match core.role {
+                match role {
                     CoreRole::Interactive => 1,
                     CoreRole::Batch => 0,
                 },
                 0,
             ),
         };
-        (class, core.util.0, tie)
+        (class, rack.util(*id).0, tie)
     };
     // Descending by (class, utilization, tie); ascending CoreId as the
     // final deterministic tiebreak.
@@ -91,11 +91,11 @@ pub fn cooperative_threshold(
     fractional: bool,
     power_of: &dyn Fn(&[NormFreq]) -> Watts,
 ) -> Assignment {
-    let total_cores: usize = rack.servers.iter().map(|s| s.cores.len()).sum();
+    let total_cores = rack.num_cores();
     assert_eq!(ranked.len(), total_cores, "ranking must cover every core");
     let index = |id: &CoreId| -> usize {
         // Server-major layout with homogeneous servers.
-        id.server * rack.servers[0].cores.len() + id.core
+        id.server * rack.cores_per_server() + id.core
     };
 
     let mut freqs = vec![f_nom; total_cores];
@@ -157,7 +157,12 @@ mod tests {
     use powersim::units::Utilization;
 
     fn rack() -> Rack {
-        let mut rk = Rack::homogeneous(ServerSpec::paper_default(), 2, 4);
+        let mut rk = Rack::builder()
+            .server(ServerSpec::paper_default())
+            .num_servers(2)
+            .interactive_cores_per_server(4)
+            .build()
+            .expect("valid rack");
         // Interactive cores moderately busy, batch cores saturated.
         for id in rk.cores_with_role(CoreRole::Interactive) {
             rk.set_util(id, Utilization(0.6));
@@ -176,10 +181,7 @@ mod tests {
     fn by_utilization_puts_batch_first() {
         let rk = rack();
         let ranked = rank_cores(&rk, SprintRanking::ByUtilization);
-        let first_eight: Vec<CoreRole> = ranked[..8]
-            .iter()
-            .map(|id| rk.servers[id.server].cores[id.core].role)
-            .collect();
+        let first_eight: Vec<CoreRole> = ranked[..8].iter().map(|id| rk.role_of(*id)).collect();
         assert!(first_eight.iter().all(|r| *r == CoreRole::Batch));
     }
 
@@ -187,10 +189,7 @@ mod tests {
     fn interactive_first_overrides_utilization() {
         let rk = rack();
         let ranked = rank_cores(&rk, SprintRanking::InteractiveFirst);
-        let first_eight: Vec<CoreRole> = ranked[..8]
-            .iter()
-            .map(|id| rk.servers[id.server].cores[id.core].role)
-            .collect();
+        let first_eight: Vec<CoreRole> = ranked[..8].iter().map(|id| rk.role_of(*id)).collect();
         assert!(first_eight.iter().all(|r| *r == CoreRole::Interactive));
     }
 

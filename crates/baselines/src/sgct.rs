@@ -213,7 +213,12 @@ mod tests {
     use powersim::units::Utilization;
 
     fn rack() -> Rack {
-        let mut rk = Rack::homogeneous(ServerSpec::paper_default(), 16, 4);
+        let mut rk = Rack::builder()
+            .server(ServerSpec::paper_default())
+            .num_servers(16)
+            .interactive_cores_per_server(4)
+            .build()
+            .expect("valid rack");
         for id in rk.cores_with_role(CoreRole::Interactive) {
             rk.set_util(id, Utilization(0.65));
         }

@@ -11,11 +11,12 @@ use sprintcon::{ServerPowerController, SprintConConfig};
 use sprintcon_bench::{banner, write_csv};
 
 fn rack(cfg: &SprintConConfig) -> Rack {
-    let mut rk = Rack::homogeneous(
-        cfg.server.clone(),
-        cfg.num_servers,
-        cfg.interactive_cores_per_server,
-    );
+    let mut rk = Rack::builder()
+        .server(cfg.server.clone())
+        .num_servers(cfg.num_servers)
+        .interactive_cores_per_server(cfg.interactive_cores_per_server)
+        .build()
+        .expect("paper config is a valid rack");
     for id in rk.cores_with_role(CoreRole::Interactive) {
         rk.set_util(id, Utilization(0.6));
     }
@@ -25,11 +26,17 @@ fn rack(cfg: &SprintConConfig) -> Rack {
     rk
 }
 
+fn interactive_utils(rk: &Rack) -> Vec<Utilization> {
+    let mut utils = Vec::new();
+    rk.interactive_utils_into(&mut utils);
+    utils
+}
+
 /// Run a 1.3→1.9 kW step and report (settling steps to 5%, overshoot W).
 fn step_response(cfg: &SprintConConfig) -> (usize, f64) {
     let mut ctrl = ServerPowerController::new(cfg);
     let mut rk = rack(cfg);
-    let utils = rk.interactive_util_vector();
+    let utils = interactive_utils(&rk);
     let mut freqs: Vec<f64> = rk
         .cores_with_role(CoreRole::Batch)
         .iter()

@@ -16,11 +16,12 @@ use sprintcon::{ServerPowerController, SprintConConfig};
 use sprintcon_bench::{banner, write_csv};
 
 fn rack(cfg: &SprintConConfig) -> Rack {
-    let mut rk = Rack::homogeneous(
-        cfg.server.clone(),
-        cfg.num_servers,
-        cfg.interactive_cores_per_server,
-    );
+    let mut rk = Rack::builder()
+        .server(cfg.server.clone())
+        .num_servers(cfg.num_servers)
+        .interactive_cores_per_server(cfg.interactive_cores_per_server)
+        .build()
+        .expect("paper config is a valid rack");
     for id in rk.cores_with_role(CoreRole::Interactive) {
         rk.set_util(id, Utilization(0.6));
     }
@@ -28,6 +29,12 @@ fn rack(cfg: &SprintConConfig) -> Rack {
         rk.set_util(id, Utilization(0.95));
     }
     rk
+}
+
+fn interactive_utils(rk: &Rack) -> Vec<Utilization> {
+    let mut utils = Vec::new();
+    rk.interactive_utils_into(&mut utils);
+    utils
 }
 
 fn batch_freqs(rk: &Rack) -> Vec<f64> {
@@ -59,7 +66,7 @@ fn main() {
     let probe_ctrl = ServerPowerController::new(&cfg);
     let (lo, hi) = {
         let mut rk = rack(&cfg);
-        let utils = rk.interactive_util_vector();
+        let utils = interactive_utils(&rk);
         rk.set_role_freq(CoreRole::Batch, NormFreq(0.2));
         let lo = probe_ctrl.feedback_power(rk.power(), &utils).0;
         rk.set_role_freq(CoreRole::Batch, NormFreq(1.0));
@@ -71,7 +78,7 @@ fn main() {
     // --- MPC (the paper's design) ---
     let mut ctrl = ServerPowerController::new(&cfg);
     let mut rk = rack(&cfg);
-    let utils = rk.interactive_util_vector();
+    let utils = interactive_utils(&rk);
     let mut mpc_err = Vec::new();
     let mut rows = Vec::new();
     for t in 0..horizon {

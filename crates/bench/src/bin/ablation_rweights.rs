@@ -15,11 +15,12 @@ use workloads::batch::BatchJob;
 use workloads::progress_model::ProgressModel;
 
 fn setup(cfg: &SprintConConfig) -> (Rack, Vec<BatchJob>) {
-    let mut rk = Rack::homogeneous(
-        cfg.server.clone(),
-        cfg.num_servers,
-        cfg.interactive_cores_per_server,
-    );
+    let mut rk = Rack::builder()
+        .server(cfg.server.clone())
+        .num_servers(cfg.num_servers)
+        .interactive_cores_per_server(cfg.interactive_cores_per_server)
+        .build()
+        .expect("paper config is a valid rack");
     for id in rk.cores_with_role(CoreRole::Interactive) {
         rk.set_util(id, Utilization(0.6));
     }
@@ -48,10 +49,16 @@ fn setup(cfg: &SprintConConfig) -> (Rack, Vec<BatchJob>) {
     (rk, jobs)
 }
 
+fn interactive_utils(rk: &Rack) -> Vec<Utilization> {
+    let mut utils = Vec::new();
+    rk.interactive_utils_into(&mut utils);
+    utils
+}
+
 fn run(cfg: &SprintConConfig, use_weights: bool) -> (usize, f64, f64) {
     let mut ctrl = ServerPowerController::new(cfg);
     let (mut rk, mut jobs) = setup(cfg);
-    let utils = rk.interactive_util_vector();
+    let utils = interactive_utils(&rk);
     let budget = Watts(1550.0); // tight: cannot run everyone fast
     let mut freqs: Vec<f64> = rk
         .cores_with_role(CoreRole::Batch)

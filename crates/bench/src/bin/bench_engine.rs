@@ -18,14 +18,29 @@
 //!    production default). An **agreement gate** runs both backends over
 //!    the same feedback sequence and requires the decision vectors to
 //!    match within 1e-6 with both KKT-certified.
+//! 3. **Rack substrate** — ns per plant tick at the paper-default rack
+//!    (16 servers × 8 cores), single-threaded, for the pre-rework
+//!    AoS substrate (`Rack { servers: Vec<Server> }` with allocating
+//!    per-`CoreId` access, replicated here verbatim) vs the SoA slab
+//!    substrate, driven by an identical deterministic stimulus. A
+//!    model-agreement gate requires both substrates to produce
+//!    bit-identical power/frequency accumulations — the speedup is only
+//!    a claim if the two compute the same plant. Also measures the
+//!    whole-engine `server_ticks_per_sec` and compares against the
+//!    committed pre-rework full-loop baseline.
 //!
 //! Flags: `--secs N` scenario length (default 120), `--out PATH`
 //! (default `BENCH_engine.json`), `--check` CI gate mode (small
 //! campaign, no wall-clock sweep; exit 1 on digest mismatch, on
-//! dense-vs-structured disagreement > 1e-6, or on a structured path
-//! slower than the dense one).
+//! dense-vs-structured disagreement > 1e-6, on a structured path
+//! slower than the dense one, on substrate model disagreement, on a
+//! substrate speedup under the floor, or on a full loop slower than
+//! the committed pre-rework baseline).
 
-use powersim::units::Seconds;
+use powersim::cpu::CoreRole;
+use powersim::rack::Rack;
+use powersim::units::{NormFreq, Seconds, Utilization, Watts};
+use simkit::policy::tests_support::FixedPolicy;
 use simkit::{Campaign, ExecConfig, PolicyKind, Scenario};
 use sprint_control::linalg::Mat;
 use sprint_control::mpc::{MpcBackend, MpcConfig, MpcController};
@@ -273,6 +288,400 @@ fn bench_mpc_paths(channels: usize, periods: usize) -> MpcTimings {
     }
 }
 
+/// The pre-rework AoS rack substrate, replicated operation-for-operation
+/// from the last commit before the SoA rework: `Rack` was a
+/// `Vec<Server>` (the `Server`/`CoreState` AoS types survive unchanged
+/// for model calibration, so they are reused directly), every rack-wide
+/// access went through a freshly allocated `Vec<CoreId>`, and the power
+/// sum walked the nested structs server by server. This is the "before"
+/// measurement of the substrate claim.
+mod prework {
+    use powersim::cpu::CoreRole;
+    use powersim::server::{Server, ServerSpec};
+    use powersim::units::{NormFreq, Watts};
+
+    #[derive(Clone, Copy)]
+    pub struct CoreId {
+        pub server: usize,
+        pub core: usize,
+    }
+
+    pub struct Rack {
+        pub servers: Vec<Server>,
+    }
+
+    impl Rack {
+        /// The paper's rack: 16 servers, 8 cores each, 4 interactive.
+        pub fn paper_default() -> Self {
+            Rack {
+                servers: (0..16)
+                    .map(|_| Server::new(ServerSpec::paper_default(), 4))
+                    .collect(),
+            }
+        }
+
+        /// All cores of a role, in deterministic order — allocates a
+        /// fresh id vector on every call, as the old substrate did.
+        pub fn cores_with_role(&self, role: CoreRole) -> Vec<CoreId> {
+            let mut out = Vec::new();
+            for (si, s) in self.servers.iter().enumerate() {
+                for ci in s.cores_with_role(role) {
+                    out.push(CoreId {
+                        server: si,
+                        core: ci,
+                    });
+                }
+            }
+            out
+        }
+
+        pub fn set_freq(&mut self, id: CoreId, f: NormFreq) {
+            self.servers[id.server].set_core_freq(id.core, f);
+        }
+
+        pub fn freq(&self, id: CoreId) -> NormFreq {
+            self.servers[id.server].cores[id.core].freq
+        }
+
+        /// Total power: per-server nested-struct walk.
+        pub fn power(&self) -> Watts {
+            self.servers.iter().map(|s| s.power()).sum()
+        }
+    }
+}
+
+/// Full-loop throughput of the last pre-rework commit on the reference
+/// host (best of 3, same chunked-run methodology as
+/// [`bench_full_loop`]). The full-loop gate: today's engine must never
+/// fall below what the AoS engine delivered.
+const PREWORK_FULL_LOOP_SERVER_TICKS_PER_SEC: f64 = 3_183_991.0;
+
+/// CI floor for the substrate speedup. The headline claim is ≥5×; the
+/// gate leaves slack for host variance and noisy CI runners.
+const SUBSTRATE_SPEEDUP_FLOOR: f64 = 4.0;
+
+/// Batch cores report this utilization while a job runs (mirrors the
+/// engine's write-back; both substrates store the identical value).
+const BATCH_BUSY_UTIL: f64 = 0.95;
+
+/// Deterministic per-tick stimulus shared by both substrate
+/// implementations: rotating batch DVFS commands and per-server
+/// interactive loads. Precomputed so the timed loops measure the
+/// substrate, not the stimulus generation.
+struct Stimulus {
+    batch_cmds: Vec<Vec<f64>>,
+    loads: Vec<Vec<f64>>,
+}
+
+impl Stimulus {
+    fn new(batch_lanes: usize, servers: usize) -> Self {
+        let patterns = 8;
+        let batch_cmds = (0..patterns)
+            .map(|k| {
+                (0..batch_lanes)
+                    .map(|l| 0.2 + 0.8 * (((l * 7 + k * 13) % 17) as f64 / 16.0))
+                    .collect()
+            })
+            .collect();
+        let loads = (0..patterns)
+            .map(|k| {
+                (0..servers)
+                    .map(|s| 0.05 + 0.9 * (((s * 5 + k * 3) % 11) as f64 / 10.0))
+                    .collect()
+            })
+            .collect();
+        Stimulus { batch_cmds, loads }
+    }
+
+    fn at(&self, t: usize) -> (&[f64], &[f64]) {
+        let k = t % self.batch_cmds.len();
+        (&self.batch_cmds[k], &self.loads[k])
+    }
+}
+
+/// One plant tick on the pre-rework substrate: the exact operation
+/// sequence the old engine performed against the rack each step —
+/// DVFS actuation through a fresh id list, per-server interactive mean
+/// frequency (allocating), tier load write-back through collected role
+/// indices, batch frequency reads + utilization write-back through a
+/// second fresh id list, the nested power sum, and the two allocating
+/// effective-mean-frequency scans. Returns an accumulation of every
+/// value read, so the model-agreement gate can compare substrates.
+fn prework_tick(
+    rack: &mut prework::Rack,
+    powered: &[bool],
+    cmd: &[f64],
+    loads: &[f64],
+    t: usize,
+) -> f64 {
+    let mut acc = 0.0;
+    // Policy view: the old `SimView::batch_freqs()` — a fresh id vector
+    // plus a fresh f64 vector through per-id getters, every period. One
+    // rotating element feeds the accumulator; full-lane agreement is
+    // carried by the power and mean-frequency folds below.
+    let freqs: Vec<f64> = rack
+        .cores_with_role(CoreRole::Batch)
+        .iter()
+        .map(|&id| rack.freq(id).0)
+        .collect();
+    acc += freqs[(t * 7) % freqs.len()];
+    // DVFS actuation: interactive role-wide set (filter walk + quantize
+    // per server), then per-id batch sets through a fresh id list.
+    for s in rack.servers.iter_mut() {
+        s.set_role_freq(CoreRole::Interactive, NormFreq::PEAK);
+    }
+    let ids = rack.cores_with_role(CoreRole::Batch);
+    for (id, &f) in ids.iter().zip(cmd) {
+        rack.set_freq(*id, NormFreq(f));
+    }
+    let inter: Vec<NormFreq> = rack
+        .servers
+        .iter()
+        .map(|s| s.mean_freq(CoreRole::Interactive).unwrap_or(NormFreq::PEAK))
+        .collect();
+    acc += inter[t % inter.len()].0;
+    for (s, &u) in loads.iter().enumerate() {
+        for ci in rack.servers[s]
+            .cores_with_role(CoreRole::Interactive)
+            .collect::<Vec<_>>()
+        {
+            rack.servers[s].cores[ci].util = Utilization(u);
+        }
+    }
+    // Per-server row subtotals folded into the accumulator — the same
+    // chain shape as the SoA side, so the agreement gate stays
+    // bit-exact without an artificial 64-add serial chain on either
+    // side (the substrate ops — one getter and one util store per id —
+    // are unchanged).
+    let ids = rack.cores_with_role(CoreRole::Batch);
+    let bpc = ids.len() / rack.servers.len();
+    for (s, chunk) in ids.chunks(bpc).enumerate() {
+        let mut row_acc = 0.0;
+        for (j, id) in chunk.iter().enumerate() {
+            let on = powered[id.server];
+            row_acc += if on { rack.freq(*id).0 } else { 0.0 };
+            let busy = !(s * bpc + j + t).is_multiple_of(16);
+            rack.servers[id.server].cores[id.core].util =
+                Utilization(if busy { BATCH_BUSY_UTIL } else { 0.0 });
+        }
+        acc += row_acc;
+    }
+    // Controller feedback input: per-server interactive utilization
+    // (the Eq. (5) `U` vector), via the old allocating role scan.
+    let utils: Vec<Utilization> = rack
+        .servers
+        .iter()
+        .map(|s| {
+            s.mean_util(CoreRole::Interactive)
+                .unwrap_or(Utilization::IDLE)
+        })
+        .collect();
+    acc += utils[t % utils.len()].0;
+    acc += rack.power().0;
+    for role in [CoreRole::Interactive, CoreRole::Batch] {
+        let ids = rack.cores_with_role(role);
+        let sum: f64 = ids
+            .iter()
+            .map(|&id| {
+                if powered[id.server] {
+                    rack.freq(id).0
+                } else {
+                    0.0
+                }
+            })
+            .sum();
+        acc += sum / ids.len() as f64;
+    }
+    acc
+}
+
+/// The same plant tick on the SoA substrate, using the batched slab
+/// operations the engine uses today. The SoA side additionally steps
+/// the thermal slab — extra work the AoS substrate never modeled, kept
+/// in the timed loop so the comparison cannot flatter the new code.
+fn soa_tick(
+    rack: &mut Rack,
+    powered: &[bool],
+    cmd: &[f64],
+    loads: &[f64],
+    t: usize,
+    inter_buf: &mut Vec<NormFreq>,
+    util_buf: &mut Vec<Utilization>,
+) -> f64 {
+    let mut acc = 0.0;
+    // Policy view: today's `SimView::batch_freqs()` is a zero-copy slice.
+    {
+        let freqs = rack.role(CoreRole::Batch).freqs;
+        acc += freqs[(t * 7) % freqs.len()];
+    }
+    // DVFS actuation: one fill, one batched quantize-and-store pass.
+    rack.set_role_freq(CoreRole::Interactive, NormFreq::PEAK);
+    rack.role_mut(CoreRole::Batch).set_freqs(cmd);
+    rack.interactive_freqs_into(inter_buf);
+    acc += inter_buf[t % inter_buf.len()].0;
+    let ipc = rack.interactive_cores_per_server();
+    {
+        let iv = rack.role_mut(CoreRole::Interactive);
+        for (row, &u) in iv.utils.chunks_exact_mut(ipc).zip(loads) {
+            row.fill(u);
+        }
+    }
+    let bpc = rack.batch_cores_per_server();
+    {
+        let bv = rack.role_mut(CoreRole::Batch);
+        let rows = bv
+            .freqs
+            .chunks_exact(bpc)
+            .zip(bv.utils.chunks_exact_mut(bpc));
+        for (s, (frow, urow)) in rows.enumerate() {
+            let on = powered[s];
+            let mut row_acc = 0.0;
+            for (j, (&f, u)) in frow.iter().zip(urow.iter_mut()).enumerate() {
+                row_acc += if on { f } else { 0.0 };
+                let busy = !(s * bpc + j + t).is_multiple_of(16);
+                *u = if busy { BATCH_BUSY_UTIL } else { 0.0 };
+            }
+            acc += row_acc;
+        }
+    }
+    // Controller feedback input: one batched read into a reused buffer.
+    rack.interactive_utils_into(util_buf);
+    acc += util_buf[t % util_buf.len()].0;
+    acc += rack.update_server_powers(Some(powered)).0;
+    rack.step_thermal(Seconds(1.0));
+    for role in [CoreRole::Interactive, CoreRole::Batch] {
+        let v = rack.role(role);
+        let per = v.per_server();
+        let mut sum = 0.0;
+        for (s, row) in v.freqs.chunks_exact(per).enumerate() {
+            let on = powered[s];
+            for &f in row {
+                sum += if on { f } else { 0.0 };
+            }
+        }
+        acc += sum / v.len() as f64;
+    }
+    acc
+}
+
+struct SubstrateResult {
+    prework_ns_per_tick: f64,
+    soa_ns_per_tick: f64,
+    speedup: f64,
+    model_bit_identical: bool,
+}
+
+/// Best-of-`reps` mean ns/tick for one substrate.
+fn time_ticks<F: FnMut(usize) -> f64>(ticks: usize, reps: usize, mut tick: F) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut sink = 0.0;
+    for r in 0..reps {
+        let t0 = Instant::now();
+        for t in 0..ticks {
+            sink += tick(r * ticks + t);
+        }
+        best = best.min(t0.elapsed().as_nanos() as f64 / ticks as f64);
+    }
+    std::hint::black_box(sink);
+    best
+}
+
+/// The substrate comparison: identical stimulus through both
+/// implementations, bit-compared accumulations, then timed separately
+/// (single-threaded, paper-default rack).
+fn bench_substrate(agree_ticks: usize, prework_ticks: usize, soa_ticks: usize) -> SubstrateResult {
+    let mut old = prework::Rack::paper_default();
+    let mut new = Rack::builder()
+        .server(powersim::server::ServerSpec::paper_default())
+        .num_servers(16)
+        .interactive_cores_per_server(4)
+        .build()
+        .expect("paper config is a valid rack");
+    let powered = vec![true; 16];
+    let stim = Stimulus::new(new.count_role(CoreRole::Batch), 16);
+    let mut inter_buf = Vec::new();
+    let mut util_buf = Vec::new();
+
+    // Model-agreement gate: every frequency read and every power sum,
+    // accumulated over `agree_ticks`, must be bit-identical — the SoA
+    // slabs must compute the same plant in the same FP order.
+    let (mut acc_old, mut acc_new) = (0.0, 0.0);
+    for t in 0..agree_ticks {
+        let (cmd, loads) = stim.at(t);
+        acc_old += prework_tick(&mut old, &powered, cmd, loads, t);
+        acc_new += soa_tick(
+            &mut new,
+            &powered,
+            cmd,
+            loads,
+            t,
+            &mut inter_buf,
+            &mut util_buf,
+        );
+    }
+    let model_bit_identical = acc_old.to_bits() == acc_new.to_bits();
+    if !model_bit_identical {
+        eprintln!("substrate model disagreement: prework acc {acc_old:.17e} vs soa {acc_new:.17e}");
+    }
+
+    // Interleave the timing reps so both substrates sample the same
+    // distribution of CPU clock states (boost decay, thermal drift)
+    // instead of one side monopolizing the cold boosted window.
+    let (mut prework_ns, mut soa_ns) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..3 {
+        prework_ns = prework_ns.min(time_ticks(prework_ticks, 1, |t| {
+            let (cmd, loads) = stim.at(t);
+            prework_tick(&mut old, &powered, cmd, loads, t)
+        }));
+        soa_ns = soa_ns.min(time_ticks(soa_ticks, 1, |t| {
+            let (cmd, loads) = stim.at(t);
+            soa_tick(
+                &mut new,
+                &powered,
+                cmd,
+                loads,
+                t,
+                &mut inter_buf,
+                &mut util_buf,
+            )
+        }));
+    }
+    SubstrateResult {
+        prework_ns_per_tick: prework_ns,
+        soa_ns_per_tick: soa_ns,
+        speedup: prework_ns / soa_ns,
+        model_bit_identical,
+    }
+}
+
+/// Whole-engine throughput in server-ticks/sec: the paper-default
+/// scenario under a fixed policy (pure plant + workloads, no MPC cost),
+/// best of `reps` runs of ~`budget_secs` wall each — the same
+/// methodology that produced the committed pre-rework baseline.
+fn bench_full_loop(budget_secs: f64, reps: usize) -> f64 {
+    let sc = Scenario::builder(1234)
+        .duration(Seconds::minutes(15.0))
+        .build()
+        .expect("default scenario is valid");
+    let servers = 16u64;
+    let mut best = 0.0f64;
+    for _ in 0..reps {
+        let mut sim = sc.build();
+        let mut pol = FixedPolicy::new(NormFreq::PEAK, 0.7, Watts(400.0));
+        let t0 = Instant::now();
+        let mut ticks = 0u64;
+        while t0.elapsed().as_secs_f64() < budget_secs {
+            let rec = sim.run(&mut pol, Seconds(60.0));
+            ticks += rec.len() as u64;
+            if sim.is_shutdown() || sim.now().0 > 850.0 {
+                sim = sc.build();
+            }
+        }
+        best = best.max(ticks as f64 * servers as f64 / t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
 fn main() {
     let args = parse_args();
     let cpus = std::thread::available_parallelism()
@@ -324,6 +733,37 @@ fn main() {
             t.structured_ns,
             t.dense_ns,
             t.dense_ns / t.structured_ns
+        );
+        // CI gate 4: the SoA substrate must compute the identical plant
+        // and beat the pre-rework AoS substrate by at least the floor.
+        let sub = bench_substrate(1024, 10_000, 80_000);
+        if !sub.model_bit_identical {
+            eprintln!("SUBSTRATE MODEL DISAGREEMENT: AoS and SoA plants diverged");
+            std::process::exit(1);
+        }
+        if sub.speedup < SUBSTRATE_SPEEDUP_FLOOR {
+            eprintln!(
+                "PERF REGRESSION: substrate speedup {:.2}x < floor {SUBSTRATE_SPEEDUP_FLOOR}x (prework {:.0} ns/tick, soa {:.0} ns/tick)",
+                sub.speedup, sub.prework_ns_per_tick, sub.soa_ns_per_tick
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "substrate check passed: soa {:.0} ns/tick vs prework {:.0} ns/tick ({:.1}x, bit-identical plant)",
+            sub.soa_ns_per_tick, sub.prework_ns_per_tick, sub.speedup
+        );
+        // CI gate 5: whole-engine throughput must not fall below what
+        // the pre-rework engine delivered on the reference host.
+        let full_loop = bench_full_loop(0.6, 2);
+        if full_loop < PREWORK_FULL_LOOP_SERVER_TICKS_PER_SEC {
+            eprintln!(
+                "PERF REGRESSION: full loop {full_loop:.0} server_ticks/sec < committed pre-rework baseline {PREWORK_FULL_LOOP_SERVER_TICKS_PER_SEC:.0}"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "full-loop check passed: {full_loop:.0} server_ticks/sec ({:.1}x the pre-rework baseline)",
+            full_loop / PREWORK_FULL_LOOP_SERVER_TICKS_PER_SEC
         );
         return;
     }
@@ -384,6 +824,26 @@ fn main() {
         t.dense_ns / t.structured_ns
     );
 
+    println!("rack substrate, paper-default rack, single thread...");
+    let sub = bench_substrate(4096, 50_000, 400_000);
+    println!(
+        "  prework AoS : {:.0} ns/tick\n  SoA slabs   : {:.0} ns/tick  ({:.1}x, plant {})",
+        sub.prework_ns_per_tick,
+        sub.soa_ns_per_tick,
+        sub.speedup,
+        if sub.model_bit_identical {
+            "bit-identical"
+        } else {
+            "DISAGREES"
+        }
+    );
+    println!("full engine loop, fixed policy...");
+    let full_loop = bench_full_loop(1.0, 3);
+    println!(
+        "  {full_loop:.0} server_ticks/sec  ({:.1}x the committed pre-rework baseline {PREWORK_FULL_LOOP_SERVER_TICKS_PER_SEC:.0})",
+        full_loop / PREWORK_FULL_LOOP_SERVER_TICKS_PER_SEC
+    );
+
     let jobs_json: Vec<String> = rows
         .iter()
         .map(|(j, ms)| {
@@ -394,7 +854,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"host\": {{\"cpus\": {cpus}}},\n  \"campaign\": {{\"runs\": {}, \"scenario_secs\": {}}},\n  \"wall_clock\": {{\"seq_ms\": {seq_ms:.1}, \"speedup_meaningful\": {speedup_meaningful}, \"parallel\": [\n    {}\n  ]}},\n  \"determinism\": {{\"checked\": true, \"bit_identical\": {all_match}}},\n  \"mpc_hot_path\": {{\"channels\": 64, \"periods\": 200, \"alloc_ns_per_period\": {:.0}, \"dense_ns_per_period\": {:.0}, \"structured_ns_per_period\": {:.0}, \"speedup_structured_vs_dense\": {:.1}, \"agreement\": {{\"max_solution_dev\": {:.3e}, \"max_kkt_residual\": {:.3e}, \"pass\": {agreement_ok}}}}}\n}}\n",
+        "{{\n  \"host\": {{\"cpus\": {cpus}}},\n  \"campaign\": {{\"runs\": {}, \"scenario_secs\": {}}},\n  \"wall_clock\": {{\"seq_ms\": {seq_ms:.1}, \"speedup_meaningful\": {speedup_meaningful}, \"parallel\": [\n    {}\n  ]}},\n  \"determinism\": {{\"checked\": true, \"bit_identical\": {all_match}}},\n  \"mpc_hot_path\": {{\"channels\": 64, \"periods\": 200, \"alloc_ns_per_period\": {:.0}, \"dense_ns_per_period\": {:.0}, \"structured_ns_per_period\": {:.0}, \"speedup_structured_vs_dense\": {:.1}, \"agreement\": {{\"max_solution_dev\": {:.3e}, \"max_kkt_residual\": {:.3e}, \"pass\": {agreement_ok}}}}},\n  \"server_ticks\": {{\"full_loop_per_sec\": {full_loop:.0}, \"prework_full_loop_per_sec\": {PREWORK_FULL_LOOP_SERVER_TICKS_PER_SEC:.0}, \"full_loop_speedup\": {:.2}, \"substrate\": {{\"prework_ns_per_tick\": {:.0}, \"soa_ns_per_tick\": {:.0}, \"speedup\": {:.2}, \"model_bit_identical\": {}}}}}\n}}\n",
         c.len(),
         args.secs,
         jobs_json.join(",\n    "),
@@ -404,6 +864,11 @@ fn main() {
         t.dense_ns / t.structured_ns,
         agreement.max_solution_dev,
         agreement.max_kkt_residual,
+        full_loop / PREWORK_FULL_LOOP_SERVER_TICKS_PER_SEC,
+        sub.prework_ns_per_tick,
+        sub.soa_ns_per_tick,
+        sub.speedup,
+        sub.model_bit_identical,
     );
     std::fs::write(&args.out, &json).expect("write BENCH_engine.json");
     println!("wrote {}", args.out);
@@ -414,6 +879,10 @@ fn main() {
     }
     if !agreement_ok {
         eprintln!("agreement check FAILED");
+        std::process::exit(1);
+    }
+    if !sub.model_bit_identical {
+        eprintln!("substrate model agreement FAILED");
         std::process::exit(1);
     }
 }

@@ -250,11 +250,18 @@ mod tests {
     }
 
     fn rack(c: &SprintConConfig) -> Rack {
-        Rack::homogeneous(
-            c.server.clone(),
-            c.num_servers,
-            c.interactive_cores_per_server,
-        )
+        Rack::builder()
+            .server(c.server.clone())
+            .num_servers(c.num_servers)
+            .interactive_cores_per_server(c.interactive_cores_per_server)
+            .build()
+            .expect("paper config is a valid rack")
+    }
+
+    fn interactive_utils(rack: &Rack) -> Vec<Utilization> {
+        let mut v = Vec::new();
+        rack.interactive_utils_into(&mut v);
+        v
     }
 
     /// Apply the controller's per-core commands to the rack.
@@ -287,7 +294,7 @@ mod tests {
         for id in rk.cores_with_role(CoreRole::Batch) {
             rk.set_util(id, Utilization(0.95));
         }
-        let utils = rk.interactive_util_vector();
+        let utils = interactive_utils(&rk);
         let target = Watts(1700.0);
         for _ in 0..40 {
             let p_total = rk.power();
@@ -308,7 +315,7 @@ mod tests {
         for id in rk.cores_with_role(CoreRole::Batch) {
             rk.set_util(id, Utilization(0.95));
         }
-        let utils = rk.interactive_util_vector();
+        let utils = interactive_utils(&rk);
         for _ in 0..25 {
             let d = ctrl.control(rk.power(), &utils, Watts(10_000.0), &batch_freqs(&rk));
             apply(&mut rk, &ctrl, &d.freqs);
@@ -326,7 +333,7 @@ mod tests {
         for id in rk.cores_with_role(CoreRole::Batch) {
             rk.set_util(id, Utilization(0.95));
         }
-        let utils = rk.interactive_util_vector();
+        let utils = interactive_utils(&rk);
         for _ in 0..25 {
             let d = ctrl.control(rk.power(), &utils, Watts(0.0), &batch_freqs(&rk));
             apply(&mut rk, &ctrl, &d.freqs);
@@ -375,7 +382,7 @@ mod tests {
         for id in rk.cores_with_role(CoreRole::Batch) {
             rk.set_util(id, Utilization(0.95));
         }
-        let utils = rk.interactive_util_vector();
+        let utils = interactive_utils(&rk);
         // Mid-range budget forces a choice.
         for _ in 0..30 {
             let d = ctrl.control(rk.power(), &utils, Watts(1600.0), &batch_freqs(&rk));
@@ -443,7 +450,7 @@ mod tests {
             for id in rk.cores_with_role(CoreRole::Batch) {
                 rk.set_util(id, Utilization(0.95));
             }
-            let utils = rk.interactive_util_vector();
+            let utils = interactive_utils(&rk);
             for _ in 0..40 {
                 let p_total = rk.power();
                 let d = ctrl.control(p_total, &utils, Watts(1700.0), &batch_freqs(&rk));

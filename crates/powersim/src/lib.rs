@@ -12,7 +12,8 @@
 //! * [`cpu`] — DVFS ladders, core roles, per-core cubic power law.
 //! * [`server`] — the nonlinear plant power model and the controller's
 //!   fitted linear models (Eq. (1)–(5) of the paper).
-//! * [`rack`] — a rack of servers plus a noisy power monitor.
+//! * [`rack`] — a rack of servers as SoA slabs (batched stepping, role
+//!   views, builder) plus a noisy power monitor.
 //! * [`breaker`] — inverse-time circuit-breaker trip model (Fig. 2).
 //! * [`ups`] — UPS battery with duty-cycled discharge circuit.
 //! * [`battery_life`] — LFP cycle-life vs depth-of-discharge (§VII-D).
@@ -44,7 +45,9 @@ pub mod ups;
 pub use breaker::{BreakerSpec, CircuitBreaker};
 pub use cpu::{CoreRole, FreqScale};
 pub use faults::{ActiveFaults, FaultEvent, FaultInjector, FaultKind, FaultPlan, StochasticFault};
-pub use rack::{CoreId, PowerMonitor, Rack};
+pub use rack::{
+    CoreId, PowerMonitor, Rack, RackBuilder, RackConfigError, RackState, RoleView, RoleViewMut,
+};
 pub use server::{InteractivePowerModel, LinearServerModel, Server, ServerSpec};
 pub use supercap::{HybridStorage, Supercap, SupercapSpec};
 pub use thermal::{periodic_sprint_duty, ThermalModel};

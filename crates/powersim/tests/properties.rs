@@ -1,8 +1,8 @@
 //! Property-based tests for the power-infrastructure models.
 
 use powersim::breaker::{BreakerSpec, CircuitBreaker};
-use powersim::cpu::{CoreRole, FreqScale};
-use powersim::rack::Rack;
+use powersim::cpu::FreqScale;
+use powersim::rack::{CoreId, Rack};
 use powersim::server::{LinearServerModel, Server, ServerSpec};
 use powersim::supercap::{HybridStorage, Supercap, SupercapSpec};
 use powersim::units::{NormFreq, Seconds, Utilization, Watts};
@@ -108,20 +108,44 @@ proptest! {
             "sourced {sourced} must cover delivered {delivered}");
     }
 
-    /// Rack aggregates equal the sum of server powers for any state.
+    /// The batched SoA power pass is bit-identical to the pre-rework
+    /// AoS path: per-server `Server` models built from the same lane
+    /// state, summed in server order.
     #[test]
-    fn rack_power_is_sum_of_servers(
-        utils in proptest::collection::vec(0.0f64..=1.0, 16),
-        f in 0.2f64..=1.0,
+    fn rack_power_is_bit_identical_to_aos_servers(
+        utils in proptest::collection::vec(0.0f64..=1.0, 32),
+        freqs in proptest::collection::vec(0.2f64..=1.0, 32),
     ) {
-        let mut rack = Rack::homogeneous(ServerSpec::paper_default(), 4, 4);
-        rack.set_role_freq(CoreRole::Batch, NormFreq(f));
-        for (i, id) in rack.cores_with_role(CoreRole::Interactive).into_iter().enumerate() {
-            rack.set_util(id, Utilization(utils[i % utils.len()]));
+        let mut rack = Rack::builder()
+            .server(ServerSpec::paper_default())
+            .num_servers(4)
+            .interactive_cores_per_server(4)
+            .build()
+            .unwrap();
+        rack.set_freq_scale(FreqScale::continuous());
+        for s in 0..4 {
+            for c in 0..8 {
+                let id = CoreId { server: s, core: c };
+                let i = s * 8 + c;
+                rack.set_freq(id, NormFreq(freqs[i]));
+                rack.set_util(id, Utilization(utils[i]));
+            }
         }
         let total = rack.power().0;
-        let by_server: f64 = rack.servers.iter().map(|s| s.power().0).sum();
-        prop_assert!((total - by_server).abs() < 1e-9);
+        // Mirror the lanes into AoS servers and sum — the old substrate.
+        let mut by_server = Watts::ZERO;
+        for s in 0..4 {
+            let mut srv = Server::new(rack.spec().clone(), 4);
+            for c in 0..8 {
+                let id = CoreId { server: s, core: c };
+                srv.cores[c].freq = rack.freq(id);
+                srv.cores[c].util = rack.util(id);
+            }
+            by_server += srv.power();
+        }
+        prop_assert_eq!(total.to_bits(), by_server.0.to_bits());
+        // And the retained scalar reference agrees bitwise too.
+        prop_assert_eq!(total.to_bits(), rack.power_reference().0.to_bits());
     }
 
     /// Frequency quantization always lands on a representable state

@@ -11,14 +11,20 @@
 //!
 //! 1. the policy decides from the *previous* tick's measurements
 //!    (one-period measurement delay, as in the paper's control loops);
-//! 2. frequency commands are applied (quantized by each server's DVFS
+//! 2. frequency commands are applied (quantized by the rack's DVFS
 //!    ladder);
 //! 3. workloads execute: the interactive tier turns demand into
 //!    utilization/queueing, batch jobs advance;
-//! 4. plant power is evaluated (servers + fans) and measured;
+//! 4. plant power is evaluated in one batched pass over the rack's SoA
+//!    slabs (servers + fans) and measured;
 //! 5. the feed serves the demand (UPS discharge target from the policy,
 //!    remainder through the breaker) — trips and brownouts happen here;
 //! 6. a brownout shuts the rack down for good (Fig. 5's ending).
+//!
+//! The hot loop is allocation-free: interactive frequencies and loads go
+//! through reused scratch buffers, role blocks are written through
+//! contiguous [`powersim::rack::RoleViewMut`] slices, and the power pass
+//! is `Rack::update_server_powers` over the slabs.
 
 use crate::mode::ModeLabel;
 use crate::policy::{FreqCommand, Policy, PolicyCommand, SimView};
@@ -29,15 +35,32 @@ use powersim::cpu::CoreRole;
 use powersim::fan::FanModel;
 use powersim::faults::{ActiveFaults, FaultInjector};
 use powersim::rack::{PowerMonitor, Rack};
-use powersim::topology::PowerFeed;
-use powersim::units::{NormFreq, Seconds, Utilization, Watts};
+use powersim::topology::{FeedOutcome, PowerFeed};
+use powersim::units::{NormFreq, Seconds, Watts};
 use powersim::ups::UpsBattery;
 use workloads::batch::BatchJob;
-use workloads::interactive::InteractiveTier;
+use workloads::interactive::{InteractiveLoad, InteractiveTier};
 
 /// Busy batch cores register near-full utilization on the performance
 /// counters (stall cycles count as busy for OS-level accounting).
 const BATCH_BUSY_UTIL: f64 = 0.95;
+
+/// How the fast electrical dynamics (breaker thermal element, UPS duty
+/// cycling) are integrated within one control period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Substepping {
+    /// One feed step per control period — the reference integration the
+    /// committed golden digests were captured against.
+    #[default]
+    Exact,
+    /// While an electrical transient is active (breaker open, above-rated
+    /// load, or nonzero trip heat), integrate the feed with `substeps`
+    /// sub-periods per control period; otherwise take the single exact
+    /// step. Quiescent runs are bit-identical to [`Substepping::Exact`];
+    /// transients are resolved more finely and gated by tolerance tests
+    /// rather than the digest.
+    Multirate { substeps: u32 },
+}
 
 /// The complete simulated plant plus workloads.
 pub struct RackSim {
@@ -69,6 +92,15 @@ pub struct RackSim {
     ups_max_discharge_nominal: Watts,
     /// Was any crash fault active last tick (power-state resync edge)?
     crash_was_active: bool,
+    /// Feed integration scheme (from the scenario).
+    substepping: Substepping,
+    /// Step the plant through the scalar per-core reference path instead
+    /// of the batched slab pass (digest-equivalence tests only).
+    reference_stepping: bool,
+    /// Scratch: per-server mean interactive frequency (reused per tick).
+    scratch_inter_freqs: Vec<NormFreq>,
+    /// Scratch: per-server interactive loads (reused per tick).
+    scratch_loads: Vec<InteractiveLoad>,
 }
 
 impl RackSim {
@@ -80,11 +112,13 @@ impl RackSim {
     /// sites cannot wire mismatched plants.
     pub fn from_scenario(scenario: &Scenario) -> Result<Self, ScenarioError> {
         scenario.validate()?;
-        let rack = Rack::homogeneous(
-            scenario.server.clone(),
-            scenario.num_servers,
-            scenario.interactive_cores_per_server,
-        );
+        let rack = Rack::builder()
+            .server(scenario.server.clone())
+            .num_servers(scenario.num_servers)
+            .interactive_cores_per_server(scenario.interactive_cores_per_server)
+            .build()
+            // Scenario validation is strictly tighter than the rack's.
+            .expect("validated scenario implies a valid rack");
         let demand = scenario.wiki.generate(scenario.seed);
         let tier = InteractiveTier::new(demand, scenario.num_servers);
         let feed = PowerFeed::new(
@@ -136,6 +170,10 @@ impl RackSim {
             faults,
             ups_max_discharge_nominal,
             crash_was_active: false,
+            substepping: scenario.substepping,
+            reference_stepping: false,
+            scratch_inter_freqs: Vec::with_capacity(n),
+            scratch_loads: Vec::with_capacity(n),
         })
     }
 
@@ -151,24 +189,34 @@ impl RackSim {
         &self.powered
     }
 
+    /// The feed integration scheme in effect.
+    pub fn substepping(&self) -> Substepping {
+        self.substepping
+    }
+
+    /// Route plant power through the scalar per-core reference pass
+    /// instead of the batched slab pass. The two are bit-identical by
+    /// construction; property tests flip this to prove it on whole-run
+    /// digests. Not a hot path.
+    pub fn set_reference_stepping(&mut self, on: bool) {
+        self.reference_stepping = on;
+    }
+
     /// Mean frequency over cores of `role`, counting shut-down servers as
     /// zero — the convention behind Fig. 5(b)/Fig. 7's averages.
     pub fn effective_mean_freq(&self, role: CoreRole) -> f64 {
-        let ids = self.rack.cores_with_role(role);
-        if ids.is_empty() {
+        let v = self.rack.role(role);
+        if v.is_empty() {
             return 0.0;
         }
-        let sum: f64 = ids
-            .iter()
-            .map(|&id| {
-                if self.powered[id.server] {
-                    self.rack.freq(id).0
-                } else {
-                    0.0
-                }
-            })
-            .sum();
-        sum / ids.len() as f64
+        let mut sum = 0.0;
+        for (s, row) in v.freqs.chunks_exact(v.per_server()).enumerate() {
+            let on = self.powered[s];
+            for &f in row {
+                sum += if on { f } else { 0.0 };
+            }
+        }
+        sum / v.len() as f64
     }
 
     /// Apply a frequency command through the (possibly faulty) DVFS
@@ -193,28 +241,30 @@ impl RackSim {
         let faulty = af.any_actuator();
         match cmd {
             FreqCommand::RoleBased { interactive, batch } => {
+                let mut iv = self.rack.role_mut(CoreRole::Interactive);
                 if !faulty && interactive.0.is_finite() {
-                    self.rack.set_role_freq(CoreRole::Interactive, *interactive);
+                    iv.fill_freq(*interactive);
                 } else {
-                    let ids = self.rack.cores_with_role(CoreRole::Interactive);
-                    for id in ids {
-                        let cur = self.rack.freq(id).0;
-                        self.rack.set_freq(id, NormFreq(shape(cur, interactive.0)));
+                    for lane in 0..iv.len() {
+                        let cur = iv.freqs[lane];
+                        iv.set_freq(lane, NormFreq(shape(cur, interactive.0)));
                     }
                 }
-                let ids = self.rack.cores_with_role(CoreRole::Batch);
-                assert_eq!(ids.len(), batch.len(), "one frequency per batch core");
-                for (id, &f) in ids.iter().zip(batch.iter()) {
-                    if !faulty && f.is_finite() {
-                        self.rack.set_freq(*id, NormFreq(f));
-                    } else {
-                        let cur = self.rack.freq(*id).0;
-                        self.rack.set_freq(*id, NormFreq(shape(cur, f)));
+                let mut bv = self.rack.role_mut(CoreRole::Batch);
+                assert_eq!(bv.len(), batch.len(), "one frequency per batch core");
+                if !faulty {
+                    // Healthy actuator: one vectorized pass over the batch
+                    // lane slab (non-finite lanes hold, as below).
+                    bv.set_freqs(batch);
+                } else {
+                    for (lane, &f) in batch.iter().enumerate() {
+                        let cur = bv.freqs[lane];
+                        bv.set_freq(lane, NormFreq(shape(cur, f)));
                     }
                 }
             }
             FreqCommand::AllCores(freqs) => {
-                let per_server = self.rack.servers[0].cores.len();
+                let per_server = self.rack.cores_per_server();
                 assert_eq!(
                     freqs.len(),
                     self.rack.num_servers() * per_server,
@@ -264,6 +314,56 @@ impl RackSim {
         self.crash_was_active = crash_now;
     }
 
+    /// Is a fast electrical transient active (multirate trigger)?
+    fn electrical_transient(&self, p_true: Watts) -> bool {
+        !self.feed.breaker.is_closed()
+            || p_true.0 > self.feed.breaker.spec.rated.0
+            || self.feed.breaker.trip_margin() > 0.0
+    }
+
+    /// Integrate the feed over one control period under the configured
+    /// substepping scheme.
+    fn step_feed(&mut self, p_true: Watts, ups_target: Watts, dt: Seconds) -> FeedOutcome {
+        let substeps = match self.substepping {
+            Substepping::Exact => 1,
+            Substepping::Multirate { substeps } => {
+                if self.electrical_transient(p_true) {
+                    substeps.max(1)
+                } else {
+                    1
+                }
+            }
+        };
+        if substeps == 1 {
+            return self.feed.step(p_true, ups_target, dt);
+        }
+        telemetry::counter_add("multirate.fast_periods", 1);
+        let sub = Seconds(dt.0 / substeps as f64);
+        let mut cb = 0.0;
+        let mut ups = 0.0;
+        let mut served = 0.0;
+        let mut shortfall = 0.0;
+        let mut tripped = false;
+        for _ in 0..substeps {
+            let o = self.feed.step(p_true, ups_target, sub);
+            cb += o.cb_power.0;
+            ups += o.ups_power.0;
+            served += o.served.0;
+            shortfall += o.shortfall.0;
+            tripped |= o.tripped;
+        }
+        // Powers are period averages (energy-consistent); a trip in any
+        // substep is a trip for the period.
+        let k = substeps as f64;
+        FeedOutcome {
+            cb_power: Watts(cb / k),
+            ups_power: Watts(ups / k),
+            served: Watts(served / k),
+            shortfall: Watts(shortfall / k),
+            tripped,
+        }
+    }
+
     /// Advance one control period under `policy`, appending to `rec`.
     pub fn step(&mut self, policy: &mut dyn Policy, rec: &mut Recorder) {
         let _tick = telemetry::span("sim_tick");
@@ -298,58 +398,62 @@ impl RackSim {
             self.apply_freqs(&command.freqs, &af);
         }
 
-        // 3. Workloads execute.
-        let inter_freqs: Vec<NormFreq> = self
-            .rack
-            .servers
-            .iter()
-            .map(|s| s.mean_freq(CoreRole::Interactive).unwrap_or(NormFreq::PEAK))
-            .collect();
-        let loads = self.tier.step(self.now, dt, &inter_freqs, &self.powered);
-        for (s, load) in loads.iter().enumerate() {
-            for ci in self.rack.servers[s]
-                .cores_with_role(CoreRole::Interactive)
-                .collect::<Vec<_>>()
-            {
-                self.rack.servers[s].cores[ci].util = load.util;
+        // 3. Workloads execute, one role block at a time.
+        self.rack
+            .interactive_freqs_into(&mut self.scratch_inter_freqs);
+        self.tier.step_into(
+            self.now,
+            dt,
+            &self.scratch_inter_freqs,
+            &self.powered,
+            &mut self.scratch_loads,
+        );
+        let ipc = self.rack.interactive_cores_per_server();
+        if ipc > 0 {
+            let iv = self.rack.role_mut(CoreRole::Interactive);
+            for (row, load) in iv.utils.chunks_exact_mut(ipc).zip(&self.scratch_loads) {
+                // Raw write: the tier already produced an in-range value,
+                // matching the pre-rework direct core-field store.
+                row.fill(load.util.0);
             }
         }
-        {
-            let ids = self.rack.cores_with_role(CoreRole::Batch);
-            for (idx, id) in ids.iter().enumerate() {
-                let on = self.powered[id.server];
-                let job = &mut self.jobs[idx];
-                let was_done = job.is_done();
-                let f = if on { self.rack.freq(*id).0 } else { 0.0 };
-                job.step(f, dt);
-                if !was_done && job.is_done() {
-                    rec.push_event(
-                        Seconds(self.now.0 + dt.0),
-                        crate::recorder::SimEvent::JobCompleted { core: idx },
-                    );
+        let bpc = self.rack.batch_cores_per_server();
+        if bpc > 0 {
+            let bv = self.rack.role_mut(CoreRole::Batch);
+            debug_assert_eq!(bv.len(), self.jobs.len());
+            let rows = bv
+                .freqs
+                .chunks_exact(bpc)
+                .zip(bv.utils.chunks_exact_mut(bpc));
+            let mut jobs = self.jobs.iter_mut();
+            for (s, (frow, urow)) in rows.enumerate() {
+                let on = self.powered[s];
+                for (j, (&fq, u)) in frow.iter().zip(urow.iter_mut()).enumerate() {
+                    let job = jobs.next().expect("one job per batch lane");
+                    let was_done = job.is_done();
+                    let f = if on { fq } else { 0.0 };
+                    job.step(f, dt);
+                    if !was_done && job.is_done() {
+                        rec.push_event(
+                            Seconds(self.now.0 + dt.0),
+                            crate::recorder::SimEvent::JobCompleted { core: s * bpc + j },
+                        );
+                    }
+                    let busy = on && (!job.is_done() || job.repeat);
+                    *u = if busy { BATCH_BUSY_UTIL } else { 0.0 };
                 }
-                let busy = on && (!job.is_done() || job.repeat);
-                self.rack.servers[id.server].cores[id.core].util =
-                    Utilization(if busy { BATCH_BUSY_UTIL } else { 0.0 });
             }
         }
 
-        // 4. Plant power. Crashed servers draw nothing (the crash fault
-        // cuts their supply); the all-powered fast path is the exact
-        // pre-fault summation.
-        let server_power = if self.shutdown {
-            Watts::ZERO
-        } else if self.powered.iter().all(|&p| p) {
-            self.rack.power()
+        // 4. Plant power: one batched pass over the slabs (crashed or
+        // shut-down servers draw nothing), refreshing the per-server
+        // power slab for the thermal model.
+        let server_power = if self.reference_stepping {
+            self.rack.power_reference_masked(&self.powered)
         } else {
-            self.rack
-                .servers
-                .iter()
-                .zip(self.powered.iter())
-                .filter(|(_, &on)| on)
-                .map(|(s, _)| s.power())
-                .sum()
+            self.rack.update_server_powers(Some(&self.powered))
         };
+        self.rack.step_thermal(dt);
         let fan_power = if self.shutdown {
             Watts::ZERO
         } else {
@@ -370,7 +474,7 @@ impl RackSim {
         } else {
             Watts::ZERO
         };
-        let outcome = self.feed.step(p_true, ups_target, dt);
+        let outcome = self.step_feed(p_true, ups_target, dt);
 
         // 6. Brownout ⇒ permanent shutdown (servers lose power and the
         // paper's scenario has no restart procedure).
@@ -591,5 +695,45 @@ mod tests {
         s.run(&mut p, Seconds(60.0));
         let u = s.rack.mean_role_util(CoreRole::Interactive).unwrap();
         assert!(u.0 > 0.3 && u.0 <= 1.0, "u={u}");
+    }
+
+    #[test]
+    fn die_temps_track_load() {
+        let mut s = sim();
+        let ambient = s.rack.thermal().ambient_c;
+        let mut p = FixedPolicy::new(NormFreq::PEAK, 1.0, Watts(1400.0));
+        s.run(&mut p, Seconds(180.0));
+        // Near-peak power through the RC model: well above ambient,
+        // below the throttle point's physical ceiling.
+        let t = s.rack.max_die_temp();
+        assert!(t > ambient + 30.0, "t={t}");
+        assert!(t < s.rack.thermal().steady_temp(320.0), "t={t}");
+    }
+
+    #[test]
+    fn multirate_is_bit_identical_when_quiescent() {
+        // A run that never goes above rated and never trips: the
+        // multirate trigger stays cold, so every feed step is the single
+        // exact step and whole trajectories match bitwise. Frequencies
+        // are kept modest — interactive at peak pushes the startup
+        // demand spike past the 3200 W rating, which would (correctly)
+        // arm the transient trigger.
+        let mut sc = Scenario::paper_default(42);
+        sc.duration = Seconds(120.0);
+        let mut exact = sc.build();
+        sc.substepping = Substepping::Multirate { substeps: 8 };
+        let mut multi = sc.build();
+        assert_eq!(multi.substepping(), Substepping::Multirate { substeps: 8 });
+        let mut p1 = FixedPolicy::new(NormFreq(0.4), 0.2, Watts::ZERO);
+        let mut p2 = FixedPolicy::new(NormFreq(0.4), 0.2, Watts::ZERO);
+        let ra = exact.run(&mut p1, Seconds(120.0));
+        let rb = multi.run(&mut p2, Seconds(120.0));
+        let peak = ra.samples().iter().fold(0.0f64, |m, s| m.max(s.p_total.0));
+        assert!(peak < 3200.0, "not quiescent: peak {peak} W above rated");
+        for (a, b) in ra.samples().iter().zip(rb.samples()) {
+            assert_eq!(a.p_total.0.to_bits(), b.p_total.0.to_bits());
+            assert_eq!(a.cb_power.0.to_bits(), b.cb_power.0.to_bits());
+            assert_eq!(a.ups_soc.to_bits(), b.ups_soc.to_bits());
+        }
     }
 }

@@ -51,4 +51,6 @@ pub use recorder::{Recorder, Sample, SimEvent};
 pub use scenario::{Disturbances, Scenario, ScenarioBuilder, ScenarioError};
 // Re-export the sink vocabulary so downstream crates can drive
 // `run_policy_traced` without a direct `telemetry` dependency.
-pub use telemetry::{Collector, JsonlSink, MemorySink, MetricsSnapshot, NullSink, Sink};
+pub use telemetry::{
+    with_collector, Collector, JsonlSink, MemorySink, MetricsSnapshot, NullSink, Sink,
+};

@@ -27,19 +27,18 @@ pub struct SimView<'a> {
     pub shutdown: bool,
 }
 
-impl SimView<'_> {
-    /// Per-server mean interactive utilization (what Eq. (5) consumes).
-    pub fn interactive_utils(&self) -> Vec<Utilization> {
-        self.rack.interactive_util_vector()
+impl<'a> SimView<'a> {
+    /// Per-server mean interactive utilization (what Eq. (5) consumes),
+    /// written into a caller-owned buffer — policies keep a scratch `Vec`
+    /// so the control loop stays allocation-free.
+    pub fn interactive_utils_into(&self, out: &mut Vec<Utilization>) {
+        self.rack.interactive_utils_into(out);
     }
 
-    /// Current per-batch-core frequencies, rack order.
-    pub fn batch_freqs(&self) -> Vec<f64> {
-        self.rack
-            .cores_with_role(powersim::cpu::CoreRole::Batch)
-            .iter()
-            .map(|&id| self.rack.freq(id).0)
-            .collect()
+    /// Current per-batch-core frequencies, rack order — a zero-copy
+    /// borrow of the rack's contiguous batch lane slab.
+    pub fn batch_freqs(&self) -> &'a [f64] {
+        self.rack.role(powersim::cpu::CoreRole::Batch).freqs
     }
 }
 
@@ -80,12 +79,15 @@ pub trait Policy {
 /// [`sprintcon::SprintCon`] driving the rack.
 pub struct SprintConPolicy {
     ctl: sprintcon::SprintCon,
+    /// Reused per-period buffer for the per-server utilization vector.
+    utils_scratch: Vec<Utilization>,
 }
 
 impl SprintConPolicy {
     pub fn new(cfg: sprintcon::SprintConConfig) -> Self {
         SprintConPolicy {
             ctl: sprintcon::SprintCon::new(cfg),
+            utils_scratch: Vec::new(),
         }
     }
 
@@ -104,14 +106,14 @@ impl Policy for SprintConPolicy {
     }
 
     fn control(&mut self, view: &SimView<'_>) -> PolicyCommand {
-        let utils = view.interactive_utils();
+        view.interactive_utils_into(&mut self.utils_scratch);
         let batch_freqs = view.batch_freqs();
         let out = self.ctl.step(
             view.dt,
             sprintcon::SprintConInputs {
                 p_total: view.p_total_measured,
-                interactive_util: &utils,
-                batch_freqs: &batch_freqs,
+                interactive_util: &self.utils_scratch,
+                batch_freqs,
                 jobs: view.jobs,
                 breaker_margin: view.breaker_margin,
                 breaker_closed: view.breaker_closed,

@@ -8,7 +8,7 @@
 //! [`ScenarioError`] instead of panicking mid-run. The canonical §VI-A
 //! setup stays a one-liner: [`Scenario::paper_default`].
 
-use crate::engine::RackSim;
+use crate::engine::{RackSim, Substepping};
 use powersim::breaker::BreakerSpec;
 use powersim::faults::FaultPlan;
 use powersim::server::ServerSpec;
@@ -78,6 +78,8 @@ pub enum ScenarioError {
     InvalidJobScale(f64),
     /// Monitor noise parameters must be finite and non-negative.
     InvalidMonitorNoise { rel: f64, abs: f64 },
+    /// Multirate substepping needs at least one substep per period.
+    InvalidSubstepCount(u32),
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -113,6 +115,9 @@ impl std::fmt::Display for ScenarioError {
                 f,
                 "monitor noise sigmas must be finite and non-negative, got rel={rel} abs={abs}"
             ),
+            ScenarioError::InvalidSubstepCount(k) => {
+                write!(f, "multirate substepping needs >= 1 substep, got {k}")
+            }
         }
     }
 }
@@ -152,6 +157,10 @@ pub struct Scenario {
     /// Batch jobs restart on completion (continuous processing), vs
     /// one-shot jobs with deadlines.
     pub repeat_jobs: bool,
+    /// Electrical substepping scheme for the breaker/UPS feed (see
+    /// [`Substepping`]); [`Substepping::Exact`] reproduces the committed
+    /// golden digests bit-for-bit.
+    pub substepping: Substepping,
 }
 
 impl Scenario {
@@ -220,6 +229,9 @@ impl Scenario {
         );
         if !(rel.is_finite() && abs.is_finite() && rel >= 0.0 && abs >= 0.0) {
             return Err(ScenarioError::InvalidMonitorNoise { rel, abs });
+        }
+        if let Substepping::Multirate { substeps: 0 } = self.substepping {
+            return Err(ScenarioError::InvalidSubstepCount(0));
         }
         Ok(())
     }
@@ -296,6 +308,7 @@ impl ScenarioBuilder {
                 // §VI-A: "the batch workloads are processed repeatedly and
                 // continuously ... until the workload is run for 15 minutes".
                 repeat_jobs: true,
+                substepping: Substepping::Exact,
             },
         }
     }
@@ -375,6 +388,13 @@ impl ScenarioBuilder {
 
     pub fn repeat_jobs(mut self, repeat: bool) -> Self {
         self.inner.repeat_jobs = repeat;
+        self
+    }
+
+    /// Electrical substepping scheme for the feed (default
+    /// [`Substepping::Exact`]).
+    pub fn substepping(mut self, substepping: Substepping) -> Self {
+        self.inner.substepping = substepping;
         self
     }
 

@@ -81,10 +81,26 @@ impl InteractiveTier {
         freqs: &[NormFreq],
         powered: &[bool],
     ) -> Vec<InteractiveLoad> {
+        let mut out = Vec::with_capacity(freqs.len());
+        self.step_into(t, dt, freqs, powered, &mut out);
+        out
+    }
+
+    /// [`InteractiveTier::step`] writing into a caller-owned buffer
+    /// (cleared first) — no per-tick allocation once `out` has capacity.
+    pub fn step_into(
+        &mut self,
+        t: Seconds,
+        dt: Seconds,
+        freqs: &[NormFreq],
+        powered: &[bool],
+        out: &mut Vec<InteractiveLoad>,
+    ) {
         assert_eq!(freqs.len(), self.weights.len());
         assert_eq!(powered.len(), self.weights.len());
         let base = self.demand.at(t);
-        let mut out = Vec::with_capacity(freqs.len());
+        out.clear();
+        out.reserve(freqs.len());
         for s in 0..freqs.len() {
             let demand = base * self.weights[s];
             self.arrived += demand * dt.0 / self.weights.len() as f64;
@@ -126,7 +142,6 @@ impl InteractiveTier {
                 backlog,
             });
         }
-        out
     }
 
     /// Fraction of arrived work served so far (quality-of-service proxy).

@@ -208,19 +208,18 @@ fn model_error_within_certified_stability_band() {
     let k_model: f64 = ctrl.batch_models().iter().map(|m| m.k).sum();
     // Plant aggregate gain: finite-difference of true power in the mean
     // batch frequency around mid-range.
-    let mut rack = powersim::rack::Rack::homogeneous(
-        cfg.server.clone(),
-        cfg.num_servers,
-        cfg.interactive_cores_per_server,
-    );
+    let mut rack = powersim::rack::Rack::builder()
+        .server(cfg.server.clone())
+        .num_servers(cfg.num_servers)
+        .interactive_cores_per_server(cfg.interactive_cores_per_server)
+        .build()
+        .expect("paper config is a valid rack");
     for id in rack.cores_with_role(powersim::cpu::CoreRole::Batch) {
         rack.set_util(id, Utilization(0.95));
     }
     let probe = |f: f64| {
         let mut r = rack.clone();
-        for s in r.servers.iter_mut() {
-            s.spec.freq_scale = powersim::cpu::FreqScale::continuous();
-        }
+        r.set_freq_scale(powersim::cpu::FreqScale::continuous());
         r.set_role_freq(powersim::cpu::CoreRole::Batch, powersim::units::NormFreq(f));
         r.power().0
     };
