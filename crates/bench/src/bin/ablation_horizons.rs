@@ -1,13 +1,19 @@
 //! A2 — ablation: MPC tuning — reference time constant `τ_r`, horizons
 //! `Lp`/`Lc` — plus the §V-C timing contract (allocator period vs
 //! controller settling time) and the closed-loop gain margin.
+//!
+//! The grid runs on the default `MpcBackend::Structured` path, whose
+//! O(n·Lc) per-solve cost is what makes the long-horizon rows
+//! (`Lp` up to 64) affordable here; a sampled subset of rows is
+//! re-run against the dense FISTA oracle to pin the two backends to the
+//! same step response.
 
 use powersim::cpu::CoreRole;
 use powersim::rack::Rack;
 use powersim::units::{NormFreq, Utilization, Watts};
 use sprint_control::reference::discrete_settling_periods;
 use sprint_control::stability::{max_gain_ratio, scalar_pole, LoopParams};
-use sprintcon::{ServerPowerController, SprintConConfig};
+use sprintcon::{MpcBackend, ServerPowerController, SprintConConfig};
 use sprintcon_bench::{banner, write_csv};
 
 fn rack(cfg: &SprintConConfig) -> Rack {
@@ -70,6 +76,39 @@ fn step_response(cfg: &SprintConConfig) -> (usize, f64) {
     (settle, overshoot)
 }
 
+/// The τ_r / Lp / Lc grid. The long-horizon tail (Lp ≥ 24) exists
+/// because the structured backend solves each period in O(n·Lc); the
+/// dense oracle would make those rows the dominant cost of the whole
+/// ablation.
+const GRID: [(f64, usize, usize); 12] = [
+    (1.0, 8, 2),
+    (2.0, 8, 2),
+    (4.0, 8, 2), // the paper-default row
+    (8.0, 8, 2),
+    (16.0, 8, 2),
+    (4.0, 2, 1),
+    (4.0, 4, 2),
+    (4.0, 16, 4),
+    (4.0, 24, 6),
+    (4.0, 32, 8),
+    (4.0, 48, 12),
+    (4.0, 64, 16),
+];
+
+/// Rows re-run on the dense FISTA oracle: the paper default, one short
+/// and one long horizon. Both backends solve the same QP to the same
+/// tolerance, so the *sampled* step responses must agree; running the
+/// oracle on every row would defeat the point of the structured path.
+const DENSE_ORACLE_ROWS: [usize; 3] = [2, 6, 9];
+
+fn grid_config(tau: f64, lp: usize, lc: usize) -> SprintConConfig {
+    let mut cfg = SprintConConfig::paper_default();
+    cfg.mpc.tau_r = tau;
+    cfg.mpc.lp = lp;
+    cfg.mpc.lc = lc.min(lp);
+    cfg
+}
+
 fn main() {
     banner("Ablation A2 — τ_r / Lp / Lc sensitivity");
     let mut rows = Vec::new();
@@ -77,20 +116,9 @@ fn main() {
         "{:>6} {:>4} {:>4} {:>12} {:>12}",
         "tau_r", "Lp", "Lc", "settle s", "overshoot W"
     );
-    for (tau, lp, lc) in [
-        (1.0, 8, 2),
-        (2.0, 8, 2),
-        (4.0, 8, 2), // the paper-default row
-        (8.0, 8, 2),
-        (16.0, 8, 2),
-        (4.0, 2, 1),
-        (4.0, 4, 2),
-        (4.0, 16, 4),
-    ] {
-        let mut cfg = SprintConConfig::paper_default();
-        cfg.mpc.tau_r = tau;
-        cfg.mpc.lp = lp;
-        cfg.mpc.lc = lc.min(lp);
+    for (tau, lp, lc) in GRID {
+        let cfg = grid_config(tau, lp, lc);
+        assert_eq!(cfg.mpc_backend, MpcBackend::Structured, "grid runs O(n·Lc)");
         let (settle, overshoot) = step_response(&cfg);
         println!("{tau:>6.1} {lp:>4} {lc:>4} {settle:>12} {overshoot:>12.1}");
         rows.push(vec![tau, lp as f64, lc as f64, settle as f64, overshoot]);
@@ -101,6 +129,27 @@ fn main() {
         &rows,
     );
     println!("csv: {}", path.display());
+
+    banner("dense-oracle agreement (sampled rows)");
+    for &i in &DENSE_ORACLE_ROWS {
+        let (tau, lp, lc) = GRID[i];
+        let mut cfg = grid_config(tau, lp, lc);
+        cfg.mpc_backend = MpcBackend::DenseFista;
+        let (settle_d, overshoot_d) = step_response(&cfg);
+        let (settle_s, overshoot_s) = (rows[i][3] as usize, rows[i][4]);
+        println!(
+            "tau={tau} Lp={lp} Lc={lc}: structured ({settle_s}, {overshoot_s:.1}) \
+             vs dense ({settle_d}, {overshoot_d:.1})"
+        );
+        assert!(
+            settle_s.abs_diff(settle_d) <= 1,
+            "backends disagree on settling: {settle_s} vs {settle_d}"
+        );
+        assert!(
+            (overshoot_s - overshoot_d).abs() <= 5.0,
+            "backends disagree on overshoot: {overshoot_s} vs {overshoot_d}"
+        );
+    }
 
     // Eq.(7) intuition: larger τ_r → smaller overshoot, slower settling.
     let fast = &rows[0]; // tau 1

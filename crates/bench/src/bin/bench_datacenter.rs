@@ -1,0 +1,246 @@
+//! Datacenter-engine benchmark: proves the PR-level scaling and
+//! determinism claims for the feeder → PDU → rack hierarchy and emits
+//! them as `BENCH_datacenter.json`.
+//!
+//! 1. **Scale** — wall-clock of a 1000-rack × 60 simulated-second
+//!    campaign (one full SprintCon stack per rack, two-level headroom
+//!    market at every allocator boundary) under the full worker pool.
+//!    The CI gate requires this under 5 minutes.
+//! 2. **Determinism** — the FNV datacenter digest (per-rack run
+//!    digests, market grants, tree outcomes) must be bit-identical
+//!    between sequential and parallel execution, including under an
+//!    active fault plan.
+//! 3. **Single-rack equivalence** — a 1-PDU × 1-rack tree with an ample
+//!    edge rating must reproduce the standalone single-rack engine's
+//!    run digest exactly (grants are bit-transparent ceilings).
+//! 4. **Conservation** — at every supervisor boundary, Σ rack grants ≤
+//!    feeder headroom and each PDU's member grants ≤ its cap.
+//!
+//! Flags: `--racks N` floor size (default 1000), `--secs N` simulated
+//! seconds (default 60), `--out PATH` (default `BENCH_datacenter.json`),
+//! `--check` CI gate mode (exit 1 on any gate failure).
+
+use powersim::datacenter::DatacenterTopology;
+use powersim::faults::FaultPlan;
+use powersim::units::{Seconds, Watts};
+use simkit::{
+    run_datacenter, run_digest, run_policy, DcRunOutput, DcScenario, ExecConfig, PolicyKind,
+    Scenario,
+};
+use std::time::Instant;
+
+struct Args {
+    racks: usize,
+    secs: f64,
+    out: String,
+    check_only: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        racks: 1000,
+        secs: 60.0,
+        out: "BENCH_datacenter.json".to_string(),
+        check_only: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => args.check_only = true,
+            "--racks" => {
+                let v = it.next().expect("--racks needs a value");
+                args.racks = v.parse().expect("--racks expects a count");
+            }
+            "--secs" => {
+                let v = it.next().expect("--secs needs a value");
+                args.secs = v.parse().expect("--secs expects seconds");
+            }
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_datacenter [--racks N] [--secs N] [--out PATH] [--check]");
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(args.racks > 0, "--racks must be positive");
+    assert!(args.secs > 0.0, "--secs must be positive");
+    args
+}
+
+/// A floor of `racks` racks in PDUs of (up to) 50, with per-PDU headroom
+/// for a fifth of the members' overload swings and feeder headroom for
+/// half of the PDU headrooms — scarce enough that both market levels
+/// genuinely ration.
+fn floor_topology(racks: usize) -> DatacenterTopology {
+    let per_pdu = racks.min(50);
+    let pdus = racks.div_ceil(per_pdu);
+    let pdu_rating = per_pdu as f64 * 3200.0 + (per_pdu as f64 * 800.0 / 5.0).max(800.0);
+    let feeder_rating = (pdus * per_pdu) as f64 * 3200.0
+        + (pdus as f64 * (per_pdu as f64 * 800.0 / 5.0).max(800.0) / 2.0).max(800.0);
+    let mut topo = DatacenterTopology::uniform(
+        pdus,
+        per_pdu,
+        Watts(pdu_rating),
+        Watts(feeder_rating.max(pdu_rating)),
+    )
+    .expect("floor topology is valid");
+    let extra = pdus * per_pdu - racks;
+    if extra > 0 {
+        let last = topo.pdus.len() - 1;
+        topo.pdus[last].num_racks -= extra;
+    }
+    topo
+}
+
+fn base_scenario(seed: u64, secs: f64, faults: bool) -> Scenario {
+    let mut sc = if faults {
+        Scenario::builder(seed)
+            .faults(FaultPlan::monitor_dropout(0.3, Seconds(8.0)))
+            .build()
+            .expect("fault scenario is valid")
+    } else {
+        Scenario::paper_default(seed)
+    };
+    sc.duration = Seconds(secs);
+    sc
+}
+
+/// Σ grants ≤ budget at every boundary, feeder- and PDU-level.
+fn conserves(out: &DcRunOutput) -> bool {
+    out.rounds.iter().all(|round| {
+        let total: f64 = round.grants.iter().map(|g| g.0).sum();
+        if total > out.feeder_budget.0 + 1e-9 {
+            return false;
+        }
+        out.pdu_caps.iter().enumerate().all(|(p, cap)| {
+            let pdu_sum: f64 = round
+                .grants
+                .iter()
+                .zip(&out.pdu_of)
+                .filter(|(_, &q)| q == p)
+                .map(|(g, _)| g.0)
+                .sum();
+            pdu_sum <= cap.0 + 1e-9
+        })
+    })
+}
+
+/// Gate 2+4: sequential vs parallel digest on a faulty mid-size floor.
+fn determinism_gate() -> Result<(), String> {
+    let dc = DcScenario::new(base_scenario(7, 90.0, true), floor_topology(24))
+        .map_err(|e| e.to_string())?;
+    let seq = run_datacenter(&dc, ExecConfig::sequential()).map_err(|e| e.to_string())?;
+    if !conserves(&seq) {
+        return Err("market overspent a tree-edge budget".into());
+    }
+    for jobs in [2usize, 4, 0] {
+        let par = run_datacenter(&dc, ExecConfig::jobs(jobs)).map_err(|e| e.to_string())?;
+        if par.digest != seq.digest {
+            return Err(format!(
+                "jobs={jobs}: digest 0x{:016x} != sequential 0x{:016x}",
+                par.digest, seq.digest
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Gate 3: single-rack datacenter == standalone engine, bit for bit.
+fn equivalence_gate() -> Result<(), String> {
+    let base = base_scenario(42, 90.0, false);
+    let topo = DatacenterTopology::single_rack(Watts(4000.0)).map_err(|e| e.to_string())?;
+    let dc = DcScenario::new(base.clone(), topo).map_err(|e| e.to_string())?;
+    let out = run_datacenter(&dc, ExecConfig::sequential()).map_err(|e| e.to_string())?;
+    let standalone = run_policy(&base, PolicyKind::SprintCon);
+    let (a, b) = (run_digest(&out.racks[0]), run_digest(&standalone));
+    if a != b {
+        return Err(format!(
+            "single-rack datacenter digest 0x{a:016x} != standalone 0x{b:016x}"
+        ));
+    }
+    Ok(())
+}
+
+/// Gate 1: the full-size campaign under the worker pool, timed.
+fn scale_run(racks: usize, secs: f64) -> Result<(f64, DcRunOutput), String> {
+    let dc = DcScenario::new(base_scenario(2019, secs, false), floor_topology(racks))
+        .map_err(|e| e.to_string())?;
+    let t0 = Instant::now();
+    let out = run_datacenter(&dc, ExecConfig::parallel()).map_err(|e| e.to_string())?;
+    Ok((t0.elapsed().as_secs_f64(), out))
+}
+
+fn main() {
+    let args = parse_args();
+    let cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!(
+        "bench_datacenter: {cpus}-core host, {} racks x {}s",
+        args.racks, args.secs
+    );
+
+    println!("determinism gate (24 faulty racks, seq vs 2/4/all workers)...");
+    if let Err(e) = determinism_gate() {
+        eprintln!("DETERMINISM VIOLATION: {e}");
+        std::process::exit(1);
+    }
+    println!("  ok: datacenter digest bit-identical across worker counts");
+
+    println!("single-rack equivalence gate...");
+    if let Err(e) = equivalence_gate() {
+        eprintln!("EQUIVALENCE VIOLATION: {e}");
+        std::process::exit(1);
+    }
+    println!("  ok: 1-rack tree reproduces the standalone engine digest");
+
+    println!(
+        "scale run: {} racks x {}s on {cpus} worker(s)...",
+        args.racks, args.secs
+    );
+    let (wall, out) = match scale_run(args.racks, args.secs) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("SCALE RUN FAILED: {e}");
+            std::process::exit(1);
+        }
+    };
+    let conserved = conserves(&out);
+    println!(
+        "  {:.1}s wall, digest 0x{:016x}, {} market rounds, peak feeder {:.0} W",
+        wall,
+        out.digest,
+        out.rounds.len(),
+        out.peak_feeder_load.0
+    );
+    if !conserved {
+        eprintln!("CONSERVATION VIOLATION in the scale run");
+        std::process::exit(1);
+    }
+    // CI budget: the acceptance bar is 5 minutes for 1000 x 60 s.
+    let budget_secs = 300.0;
+    if args.check_only && wall > budget_secs {
+        eprintln!("SCALE GATE FAILED: {wall:.1}s > {budget_secs}s budget");
+        std::process::exit(1);
+    }
+
+    let json = format!(
+        "{{\n  \"racks\": {},\n  \"secs\": {},\n  \"cpus\": {},\n  \"wall_secs\": {:.3},\n  \
+         \"digest\": \"0x{:016x}\",\n  \"market_rounds\": {},\n  \"peak_feeder_w\": {:.1},\n  \
+         \"feeder_trip_periods\": {},\n  \"conserved\": {},\n  \"determinism\": \"pass\",\n  \
+         \"single_rack_equivalence\": \"pass\"\n}}\n",
+        args.racks,
+        args.secs,
+        cpus,
+        wall,
+        out.digest,
+        out.rounds.len(),
+        out.peak_feeder_load.0,
+        out.feeder_trip_periods,
+        conserved,
+    );
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| panic!("writing {}: {e}", args.out));
+    println!("json: {}", args.out);
+    if args.check_only {
+        println!("bench_datacenter --check: all gates passed");
+    }
+}

@@ -23,7 +23,7 @@
 
 use crate::linalg::Mat;
 use crate::qp::{QpProblem, QpSolution, QpWorkspace};
-use crate::qp_structured::solve_blocks_into;
+use crate::qp_structured::solve_blocks_into_warm;
 
 /// Which QP machinery [`MpcController::compute`] runs each period.
 ///
@@ -157,6 +157,12 @@ struct StructuredBuffers {
     g: Vec<f64>,
     /// Solution vector, length `n·Lc`.
     x: Vec<f64>,
+    /// Per-block coupling-scalar roots `u_b = kᵀy_b` carried across
+    /// control periods as warm-start hints (NaN = cold). The solver's
+    /// stale-bracket guard rejects a carried root whenever the bracket
+    /// has moved (gains/weights/target changed), so this only ever
+    /// speeds the root find up.
+    warm_u: Vec<f64>,
 }
 
 /// One control decision.
@@ -217,6 +223,7 @@ impl MpcController {
                 d: vec![0.0; dim],
                 g: vec![0.0; dim],
                 x: vec![0.0; dim],
+                warm_u: vec![f64::NAN; cfg.lc],
             },
         }
     }
@@ -341,7 +348,7 @@ impl MpcController {
             }
         }
 
-        let (evals, converged, kkt_residual) = solve_blocks_into(
+        let (evals, converged, kkt_residual) = solve_blocks_into_warm(
             &sb.c,
             &self.gains,
             &sb.d,
@@ -351,6 +358,7 @@ impl MpcController {
             &mut sb.x,
             1e-7,
             200,
+            Some(&mut sb.warm_u),
         );
         let sol = QpSolution {
             x: sb.x.clone(),
@@ -661,6 +669,22 @@ mod tests {
         let hd = run(MpcBackend::DenseFista);
         for (i, (a, b)) in hs.iter().zip(&hd).enumerate() {
             assert!((a - b).abs() < 1e-3, "step {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn warm_started_periods_cost_fewer_evals_at_steady_state() {
+        // Repeating the same period: the carried coupling roots satisfy
+        // the tolerance immediately, so the second solve is never more
+        // expensive than the cold one and stays KKT-certified.
+        let mut ctrl = controller(8);
+        let d0 = ctrl.compute(60.0, 90.0, &[0.5; 8]);
+        let d1 = ctrl.compute(60.0, 90.0, &[0.5; 8]);
+        assert!(d0.qp.converged && d1.qp.converged);
+        assert!(d1.qp.iterations <= d0.qp.iterations);
+        assert!(d1.qp.kkt_residual < 1e-6);
+        for (a, b) in d0.freqs.iter().zip(&d1.freqs) {
+            assert!((a - b).abs() < 1e-6);
         }
     }
 

@@ -128,6 +128,25 @@ impl<'a> RankOneDiagQp<'a> {
     /// projected-KKT accuracy of the returned point; `max_evals` bounds
     /// the root-find evaluations (each O(n)). No allocation.
     pub fn solve_into(&self, y: &mut [f64], tol: f64, max_evals: usize) -> BlockSolve {
+        self.solve_into_warm(y, tol, max_evals, None)
+    }
+
+    /// [`Self::solve_into`] with an optional warm-start hint for the
+    /// coupling scalar `u = kᵀy` — typically the previous control
+    /// period's root. The hint is only trusted if it lies strictly inside
+    /// the freshly computed bracket `(min kᵀy, max kᵀy)` (the stale-
+    /// bracket guard): a hint from a problem whose bounds, gains, or
+    /// linear term have since shifted the bracket falls back to the
+    /// midpoint start, so a stale hint can never slow the solve below
+    /// the cold path's bisection guarantee, and the returned point meets
+    /// the same `tol` certificate either way.
+    pub fn solve_into_warm(
+        &self,
+        y: &mut [f64],
+        tol: f64,
+        max_evals: usize,
+        warm: Option<f64>,
+    ) -> BlockSolve {
         debug_assert_eq!(y.len(), self.k.len());
         assert!(tol > 0.0 && max_evals > 0);
 
@@ -156,7 +175,12 @@ impl<'a> RankOneDiagQp<'a> {
         let k_inf = self.k.iter().fold(0.0_f64, |m, &k| m.max(k.abs()));
         let tol_u = tol / (self.c * k_inf).max(1.0);
 
-        let mut u = 0.5 * (a + b);
+        // Warm start: reuse the previous root if it is still strictly
+        // bracketed; otherwise fall back to the bisection midpoint.
+        let mut u = match warm {
+            Some(w) if w.is_finite() && w > a && w < b => w,
+            _ => 0.5 * (a + b),
+        };
         let mut evals = 0;
         let mut converged = false;
         while evals < max_evals {
@@ -251,6 +275,29 @@ pub fn solve_blocks_into(
     tol: f64,
     max_evals: usize,
 ) -> (usize, bool, f64) {
+    solve_blocks_into_warm(c, k, d, g, lo, hi, x, tol, max_evals, None)
+}
+
+/// [`solve_blocks_into`] with per-block warm-start state: `warm[b]` holds
+/// the coupling-scalar hint for block `b` on entry (NaN = cold) and is
+/// overwritten with the block's converged root on exit, so a caller that
+/// keeps the slice alive across control periods warm-starts every solve.
+/// Each hint goes through the stale-bracket guard of
+/// [`RankOneDiagQp::solve_into_warm`], so the returned point carries the
+/// same `tol` KKT certificate as the cold path.
+#[allow(clippy::too_many_arguments)] // the six problem slices mirror the MPC assembly layout
+pub fn solve_blocks_into_warm(
+    c: &[f64],
+    k: &[f64],
+    d: &[f64],
+    g: &[f64],
+    lo: &[f64],
+    hi: &[f64],
+    x: &mut [f64],
+    tol: f64,
+    max_evals: usize,
+    mut warm: Option<&mut [f64]>,
+) -> (usize, bool, f64) {
     let n = k.len();
     let blocks = c.len();
     assert!(n > 0 && blocks > 0, "empty structured problem");
@@ -259,6 +306,9 @@ pub fn solve_blocks_into(
         d.len() == dim && g.len() == dim && lo.len() == dim && hi.len() == dim && x.len() == dim,
         "structured problem shape mismatch"
     );
+    if let Some(w) = warm.as_deref() {
+        assert_eq!(w.len(), blocks, "warm-start state shape mismatch");
+    }
     let mut evals = 0;
     let mut converged = true;
     let mut res = 0.0_f64;
@@ -273,7 +323,11 @@ pub fn solve_blocks_into(
             hi: &hi[r.clone()],
         };
         block.validate();
-        let s = block.solve_into(&mut x[r.clone()], tol, max_evals);
+        let hint = warm.as_deref().map(|w| w[b]);
+        let s = block.solve_into_warm(&mut x[r.clone()], tol, max_evals, hint);
+        if let Some(w) = warm.as_deref_mut() {
+            w[b] = s.u;
+        }
         evals += s.evals;
         converged &= s.converged;
         res = res.max(block.kkt_residual(&x[r]));
@@ -501,6 +555,106 @@ mod tests {
         assert!(s.converged);
         assert!(s.evals <= 60, "evals={}", s.evals);
         assert!(block.kkt_residual(&y) < 1e-8);
+    }
+
+    #[test]
+    fn warm_start_reuses_previous_root_and_keeps_the_certificate() {
+        for seed in 0..20 {
+            let n = 3 + (seed as usize % 5);
+            let (c, k, d, g, lo, hi) = random_block(seed + 100, n);
+            let block = RankOneDiagQp {
+                c,
+                k: &k,
+                d: &d,
+                g: &g,
+                lo: &lo,
+                hi: &hi,
+            };
+            let mut y_cold = vec![0.0; n];
+            let cold = block.solve_into(&mut y_cold, 1e-9, 200);
+            assert!(cold.converged);
+            // Re-solving the same block from its own root must converge
+            // at least as fast and land on the same point.
+            let mut y_warm = vec![0.0; n];
+            let warm = block.solve_into_warm(&mut y_warm, 1e-9, 200, Some(cold.u));
+            assert!(warm.converged, "seed={seed}");
+            assert!(warm.evals <= cold.evals, "seed={seed}");
+            assert!(block.kkt_residual(&y_warm) < 1e-8, "seed={seed}");
+            for (a, b) in y_cold.iter().zip(&y_warm) {
+                assert!((a - b).abs() < 1e-7, "seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn stale_warm_hint_falls_back_to_the_cold_path() {
+        // Hints outside the fresh bracket (or non-finite) must be
+        // rejected by the guard, reproducing the cold solve exactly.
+        let (c, k, d, g, lo, hi) = random_block(7, 5);
+        let block = RankOneDiagQp {
+            c,
+            k: &k,
+            d: &d,
+            g: &g,
+            lo: &lo,
+            hi: &hi,
+        };
+        let mut y_cold = vec![0.0; 5];
+        let cold = block.solve_into(&mut y_cold, 1e-9, 200);
+        for bad in [1e12, -1e12, f64::NAN, f64::INFINITY] {
+            let mut y = vec![0.0; 5];
+            let s = block.solve_into_warm(&mut y, 1e-9, 200, Some(bad));
+            assert!(s.converged);
+            assert_eq!(s.evals, cold.evals, "hint={bad}");
+            assert_eq!(y, y_cold, "hint={bad}");
+        }
+    }
+
+    #[test]
+    fn blocks_warm_state_round_trips_across_solves() {
+        let n = 3;
+        let k = vec![2.0, 1.0, 4.0];
+        let c = [1.0, 0.5];
+        let d = vec![1.0, 2.0, 3.0, 0.5, 0.5, 0.5];
+        let g = vec![-1.0, 0.0, 2.0, 1.0, -2.0, 0.3];
+        let lo = vec![-1.0; 6];
+        let hi = vec![1.0; 6];
+        let mut x_cold = vec![0.0; 6];
+        let mut warm = vec![f64::NAN; 2];
+        let (cold_evals, conv, res) = solve_blocks_into_warm(
+            &c,
+            &k,
+            &d,
+            &g,
+            &lo,
+            &hi,
+            &mut x_cold,
+            1e-9,
+            200,
+            Some(&mut warm),
+        );
+        assert!(conv && res < 1e-8);
+        assert!(warm.iter().all(|u| u.is_finite()), "roots recorded");
+        // Second solve of the identical problem starts at the root.
+        let mut x_warm = vec![0.0; 6];
+        let (warm_evals, conv2, res2) = solve_blocks_into_warm(
+            &c,
+            &k,
+            &d,
+            &g,
+            &lo,
+            &hi,
+            &mut x_warm,
+            1e-9,
+            200,
+            Some(&mut warm),
+        );
+        assert!(conv2 && res2 < 1e-8);
+        assert!(warm_evals <= cold_evals);
+        for (a, b) in x_cold.iter().zip(&x_warm) {
+            assert!((a - b).abs() < 1e-7);
+        }
+        assert_eq!(x_cold.len(), n * c.len());
     }
 
     #[test]

@@ -94,6 +94,42 @@ proptest! {
         }
     }
 
+    /// Warm-starting the structured solver never regresses the KKT
+    /// certificate: for a random block solved cold, then re-solved from
+    /// an arbitrarily shifted hint (in-bracket, stale, or wildly out of
+    /// range), the warm solve converges, costs no more evaluations than
+    /// bisection would allow, meets the same 1e-7 certificate, and lands
+    /// on the cold solution.
+    #[test]
+    fn warm_started_structured_solver_keeps_kkt_certificate(
+        c in 0.1f64..5.0,
+        k in proptest::collection::vec(-6.0f64..6.0, 5),
+        d in proptest::collection::vec(0.05f64..5.0, 5),
+        g in proptest::collection::vec(-8.0f64..8.0, 5),
+        lo in proptest::collection::vec(-2.0f64..0.5, 5),
+        width in proptest::collection::vec(0.1f64..2.0, 5),
+        hint_shift in -50.0f64..50.0,
+    ) {
+        let hi: Vec<f64> = lo.iter().zip(&width).map(|(l, w)| l + w).collect();
+        let block = RankOneDiagQp { c, k: &k, d: &d, g: &g, lo: &lo, hi: &hi };
+        let mut y_cold = vec![0.0; 5];
+        let cold = block.solve_into(&mut y_cold, 1e-7, 300);
+        prop_assert!(cold.converged);
+        prop_assert!(block.kkt_residual(&y_cold) < 1e-7);
+        let mut y_warm = vec![0.0; 5];
+        let warm = block.solve_into_warm(&mut y_warm, 1e-7, 300, Some(cold.u + hint_shift));
+        prop_assert!(warm.converged);
+        prop_assert!(block.kkt_residual(&y_warm) < 1e-7, "warm KKT regressed");
+        for (a, b) in y_cold.iter().zip(&y_warm) {
+            prop_assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+        // Exact-root hint: one evaluation per solve, certificate intact.
+        let mut y_exact = vec![0.0; 5];
+        let exact = block.solve_into_warm(&mut y_exact, 1e-7, 300, Some(warm.u));
+        prop_assert!(exact.converged && exact.evals <= cold.evals.max(1));
+        prop_assert!(block.kkt_residual(&y_exact) < 1e-7);
+    }
+
     /// Cholesky solve actually solves: `A·x = b` to high accuracy for
     /// random SPD systems.
     #[test]

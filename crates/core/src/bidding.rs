@@ -9,6 +9,16 @@
 //! the model-based, single-owner analogue of the baselines' cooperative
 //! threshold — used by the supervisor's conservation modes and available
 //! to downstream users as a standalone API.
+//!
+//! The datacenter generalization reuses the same auction shape one and
+//! two levels up: racks bid watts of *overload headroom* against the
+//! shared PDU and feeder edges ([`HeadroomBid`] /
+//! [`allocate_headroom`] / [`allocate_headroom_two_level`]), with the
+//! §IV-C core auction staying the leaf. Both levels keep the leaf's
+//! determinism contract — greedy by value, ties broken by id, the
+//! marginal bidder granted the exact fraction that exhausts the budget
+//! — so a market round is a pure function of its inputs and safe to run
+//! at supervisor boundaries between parallel rack shards.
 
 use powersim::units::Watts;
 
@@ -99,6 +109,163 @@ pub fn allocate_power_bids(
     BidAllocation {
         spent: Watts(budget.0.max(0.0) - remaining),
         freqs,
+        granted,
+    }
+}
+
+/// One participant's bid for shared overload headroom (a rack bidding at
+/// its PDU, or a PDU bidding at the feeder).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeadroomBid {
+    /// Caller-chosen participant identifier (rack or PDU index); also
+    /// the deterministic tie-break key.
+    pub id: usize,
+    /// Watts of headroom requested above the participant's rated draw.
+    pub request: Watts,
+    /// Urgency multiplier (deadline pressure, batch backlog, …).
+    pub priority: f64,
+}
+
+impl HeadroomBid {
+    /// The value the auction ranks by: watts wanted × urgency.
+    pub fn value(&self) -> f64 {
+        self.request.0.max(0.0) * self.priority.max(0.0)
+    }
+}
+
+/// Result of one headroom auction round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeadroomAllocation {
+    /// Granted watts, in bid input order. `Σ grants ≤ budget` always.
+    pub grants: Vec<Watts>,
+    /// Total watts handed out.
+    pub spent: Watts,
+    /// Bidders that received a positive grant.
+    pub granted: usize,
+}
+
+/// Auction `budget` watts of shared headroom across the bidders: greedy
+/// full grants down the value ranking (ties broken by `id`), with the
+/// marginal bidder receiving the exact fraction that exhausts the
+/// budget. Mirrors [`allocate_power_bids`] with watts as the currency
+/// instead of frequency.
+pub fn allocate_headroom(bids: &[HeadroomBid], budget: Watts) -> HeadroomAllocation {
+    assert!(budget.is_finite(), "budget must be finite");
+    assert!(
+        bids.iter()
+            .all(|b| b.request.is_finite() && b.priority.is_finite()),
+        "bids must be finite"
+    );
+    let mut order: Vec<usize> = (0..bids.len()).collect();
+    order.sort_by(|&a, &b| {
+        bids[b]
+            .value()
+            .total_cmp(&bids[a].value())
+            .then(bids[a].id.cmp(&bids[b].id))
+    });
+    let mut grants = vec![Watts::ZERO; bids.len()];
+    let mut remaining = budget.0.max(0.0);
+    let mut granted = 0;
+    for &i in &order {
+        if remaining <= 0.0 {
+            break;
+        }
+        let want = bids[i].request.0.max(0.0);
+        if want <= 0.0 {
+            continue;
+        }
+        let grant = want.min(remaining);
+        grants[i] = Watts(grant);
+        remaining -= grant;
+        granted += 1;
+        if grant < want {
+            break; // marginal bidder exhausted the budget
+        }
+    }
+    HeadroomAllocation {
+        spent: Watts(budget.0.max(0.0) - remaining),
+        grants,
+        granted,
+    }
+}
+
+/// The two-level feeder → PDU → rack market round. `pdu_of[i]` names
+/// the PDU that feeds the rack behind `bids[i]`; `pdu_caps[p]` is the
+/// headroom PDU `p`'s own edge can carry. Level 1 auctions the feeder
+/// budget across PDUs (each PDU bids the sum of its racks' requests,
+/// capped at its edge headroom, at their demand-weighted mean
+/// priority); level 2 re-auctions each PDU's grant across its own
+/// racks. Grants come back in bid input order with
+/// `Σ grants ≤ feeder_budget` and per-PDU sums within both the PDU's
+/// cap and its level-1 grant — the conservation invariant the
+/// datacenter engine asserts at every supervisor boundary.
+pub fn allocate_headroom_two_level(
+    bids: &[HeadroomBid],
+    pdu_of: &[usize],
+    pdu_caps: &[Watts],
+    feeder_budget: Watts,
+) -> HeadroomAllocation {
+    assert_eq!(bids.len(), pdu_of.len(), "bid/PDU map shape mismatch");
+    let num_pdus = pdu_caps.len();
+    assert!(
+        pdu_of.iter().all(|&p| p < num_pdus),
+        "PDU index out of range"
+    );
+    // Level-1 bids: one per PDU, aggregated from its member racks.
+    let mut demand = vec![0.0; num_pdus];
+    let mut value = vec![0.0; num_pdus];
+    for (b, &p) in bids.iter().zip(pdu_of) {
+        demand[p] += b.request.0.max(0.0);
+        value[p] += b.value();
+    }
+    let pdu_bids: Vec<HeadroomBid> = (0..num_pdus)
+        .map(|p| {
+            let capped = demand[p].min(pdu_caps[p].0.max(0.0));
+            let mean_priority = if demand[p] > 0.0 {
+                value[p] / demand[p]
+            } else {
+                0.0
+            };
+            HeadroomBid {
+                id: p,
+                request: Watts(capped),
+                priority: mean_priority,
+            }
+        })
+        .collect();
+    let level1 = allocate_headroom(&pdu_bids, feeder_budget);
+
+    // Level 2: each PDU re-auctions its grant across its own racks.
+    let mut grants = vec![Watts::ZERO; bids.len()];
+    let mut spent = 0.0;
+    let mut granted = 0;
+    let mut members: Vec<usize> = Vec::with_capacity(bids.len());
+    let mut member_bids: Vec<HeadroomBid> = Vec::with_capacity(bids.len());
+    for p in 0..num_pdus {
+        let budget = level1.grants[p];
+        if budget.0 <= 0.0 {
+            continue;
+        }
+        members.clear();
+        member_bids.clear();
+        for (i, &q) in pdu_of.iter().enumerate() {
+            if q == p {
+                members.push(i);
+                member_bids.push(bids[i]);
+            }
+        }
+        let local = allocate_headroom(&member_bids, budget);
+        for (&i, g) in members.iter().zip(&local.grants) {
+            grants[i] = *g;
+            if g.0 > 0.0 {
+                granted += 1;
+            }
+        }
+        spent += local.spent.0;
+    }
+    HeadroomAllocation {
+        grants,
+        spent: Watts(spent),
         granted,
     }
 }
@@ -212,5 +379,115 @@ mod tests {
     #[should_panic(expected = "invalid frequency range")]
     fn rejects_bad_range() {
         allocate_power_bids(&bids(1), Watts(1.0), 0.9, 0.5);
+    }
+
+    fn hbid(id: usize, request: f64, priority: f64) -> HeadroomBid {
+        HeadroomBid {
+            id,
+            request: Watts(request),
+            priority,
+        }
+    }
+
+    #[test]
+    fn headroom_greedy_grants_and_fractional_marginal() {
+        let b = [
+            hbid(0, 800.0, 1.0),
+            hbid(1, 800.0, 2.0),
+            hbid(2, 800.0, 0.5),
+        ];
+        let a = allocate_headroom(&b, Watts(1200.0));
+        assert_eq!(a.grants[1], Watts(800.0), "highest value wins first");
+        assert_eq!(a.grants[0], Watts(400.0), "marginal fractional grant");
+        assert_eq!(a.grants[2], Watts::ZERO);
+        assert_eq!(a.spent, Watts(1200.0));
+        assert_eq!(a.granted, 2);
+    }
+
+    #[test]
+    fn headroom_ties_break_by_id_and_budget_is_conserved() {
+        let b: Vec<HeadroomBid> = (0..4).map(|i| hbid(i, 500.0, 1.0)).collect();
+        for budget in [0.0, 250.0, 777.0, 2000.0, 1e6] {
+            let a = allocate_headroom(&b, Watts(budget));
+            let total: f64 = a.grants.iter().map(|g| g.0).sum();
+            assert!(total <= budget + 1e-9, "budget {budget}: spent {total}");
+            assert!((total - a.spent.0).abs() < 1e-9);
+            // Lower ids fill first on equal value.
+            for w in a.grants.windows(2) {
+                assert!(w[0].0 >= w[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn headroom_zero_requests_get_nothing() {
+        let b = [hbid(0, 0.0, 5.0), hbid(1, 100.0, 1.0)];
+        let a = allocate_headroom(&b, Watts(1000.0));
+        assert_eq!(a.grants[0], Watts::ZERO);
+        assert_eq!(a.grants[1], Watts(100.0));
+        assert_eq!(a.granted, 1);
+    }
+
+    #[test]
+    fn two_level_single_pdu_matches_flat_auction() {
+        let b = [
+            hbid(0, 800.0, 1.0),
+            hbid(1, 800.0, 2.0),
+            hbid(2, 800.0, 0.5),
+        ];
+        let flat = allocate_headroom(&b, Watts(1200.0));
+        let two = allocate_headroom_two_level(&b, &[0, 0, 0], &[Watts(1e9)], Watts(1200.0));
+        assert_eq!(flat.grants, two.grants);
+        assert_eq!(flat.spent, two.spent);
+    }
+
+    #[test]
+    fn two_level_respects_pdu_caps_and_feeder_budget() {
+        // PDU 0 wants 1600 but its edge only carries 500; PDU 1 wants
+        // 1000. Feeder has 1200: PDU 1 (higher mean priority) gets its
+        // 1000, PDU 0 gets the remaining 200 despite wanting more.
+        let b = [
+            hbid(0, 800.0, 1.0),
+            hbid(1, 800.0, 1.0),
+            hbid(2, 1000.0, 2.0),
+        ];
+        let a = allocate_headroom_two_level(
+            &b,
+            &[0, 0, 1],
+            &[Watts(500.0), Watts(2000.0)],
+            Watts(1200.0),
+        );
+        assert_eq!(a.grants[2], Watts(1000.0));
+        // PDU 0's 200 W goes to the lower id on the value tie.
+        assert_eq!(a.grants[0], Watts(200.0));
+        assert_eq!(a.grants[1], Watts::ZERO);
+        let total: f64 = a.grants.iter().map(|g| g.0).sum();
+        assert!(total <= 1200.0 + 1e-9);
+    }
+
+    #[test]
+    fn two_level_conservation_holds_per_pdu_and_overall() {
+        // Randomized-ish sweep over budgets: per-PDU sums never exceed
+        // the cap and the overall sum never exceeds the feeder budget.
+        let b: Vec<HeadroomBid> = (0..6)
+            .map(|i| hbid(i, 300.0 + 100.0 * (i as f64), 0.5 + 0.3 * (i % 3) as f64))
+            .collect();
+        let pdu_of = [0, 0, 1, 1, 2, 2];
+        let caps = [Watts(700.0), Watts(400.0), Watts(5000.0)];
+        for budget in [0.0, 300.0, 900.0, 1500.0, 1e5] {
+            let a = allocate_headroom_two_level(&b, &pdu_of, &caps, Watts(budget));
+            let total: f64 = a.grants.iter().map(|g| g.0).sum();
+            assert!(total <= budget + 1e-9);
+            for (p, cap) in caps.iter().enumerate() {
+                let pdu_sum: f64 = a
+                    .grants
+                    .iter()
+                    .zip(&pdu_of)
+                    .filter(|(_, &q)| q == p)
+                    .map(|(g, _)| g.0)
+                    .sum();
+                assert!(pdu_sum <= cap.0 + 1e-9, "PDU {p} over cap: {pdu_sum}");
+            }
+        }
     }
 }

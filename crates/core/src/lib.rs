@@ -60,7 +60,10 @@ pub mod supervisor;
 pub mod ups_controller;
 
 pub use allocator::{AllocatorTargets, CbScheduler, PowerLoadAllocator, ScheduleKind};
-pub use bidding::{allocate_power_bids, BidAllocation, PowerBid};
+pub use bidding::{
+    allocate_headroom, allocate_headroom_two_level, allocate_power_bids, BidAllocation,
+    HeadroomAllocation, HeadroomBid, PowerBid,
+};
 pub use chip_quota::{divide_quota, QuotaPolicy};
 pub use config::{ConfigError, SprintConConfig};
 pub use server_controller::ServerPowerController;

@@ -111,6 +111,10 @@ pub struct SprintCon {
     stale_for: Seconds,
     /// Was the sensor considered faulty last period (guard-band edge)?
     sensor_degraded: bool,
+    /// Breaker-power ceiling granted by the datacenter-level headroom
+    /// market (`rated + grant`); `None` — the single-rack default —
+    /// leaves every target untouched. See [`Self::apply_feeder_grant`].
+    feeder_cap: Option<Watts>,
 }
 
 impl SprintCon {
@@ -132,6 +136,7 @@ impl SprintCon {
             repeat_run: 0,
             stale_for: Seconds::ZERO,
             sensor_degraded: false,
+            feeder_cap: None,
         })
     }
 
@@ -152,6 +157,65 @@ impl SprintCon {
     /// Access the server controller (model queries, tests, benches).
     pub fn server_controller(&self) -> &ServerPowerController {
         &self.server_ctrl
+    }
+
+    // --- datacenter headroom market (two-level §IV-C generalization) ---
+    //
+    // These methods are deliberately telemetry-free: market rounds run
+    // at supervisor boundaries outside any per-run collector scope, and
+    // the FNV run digest includes telemetry counters, so a bid must not
+    // perturb a rack's digest.
+
+    /// Watts of overload headroom this rack wants from the shared tree:
+    /// the full overload swing (`overloaded − rated`) whenever the
+    /// sprint is still live. The request stays at the full swing during
+    /// recovery phases too — the schedule can re-enter overload mid-
+    /// epoch, and a grant is a *ceiling*, not a commitment to draw.
+    pub fn headroom_request(&self) -> Watts {
+        if self.mode == SprintMode::Ended {
+            Watts::ZERO
+        } else {
+            Watts(self.cfg.overloaded().0 - self.cfg.rated().0)
+        }
+    }
+
+    /// Deterministic urgency of [`Self::headroom_request`], derived
+    /// purely from allocator state: baseline 1, plus 1 while the
+    /// schedule is actually overloading, plus the batch-budget pressure
+    /// (how much of the feasible batch range the allocator is asking
+    /// for).
+    pub fn headroom_priority(&self) -> f64 {
+        let targets = self.allocator.targets();
+        let (lo, hi) = self.allocator.p_batch_bounds();
+        let span = (hi.0 - lo.0).max(1.0);
+        let pressure = ((targets.p_batch.0 - lo.0) / span).clamp(0.0, 1.0);
+        1.0 + pressure + if targets.overloading { 1.0 } else { 0.0 }
+    }
+
+    /// Install the market's answer: a grant of `g` headroom watts caps
+    /// every breaker-power target at `rated + g` until the next round;
+    /// `None` removes the cap (the single-rack default — with no cap
+    /// installed, [`Self::step`] is bit-identical to the pre-datacenter
+    /// supervisor). An ample grant (`g ≥ overloaded − rated`) is also
+    /// bit-transparent, because `min(p_cb, cap)` returns `p_cb` exactly.
+    pub fn apply_feeder_grant(&mut self, grant: Option<Watts>) {
+        self.feeder_cap = grant.map(|g| {
+            assert!(g.0 >= 0.0 && g.is_finite(), "invalid headroom grant");
+            Watts(self.cfg.rated().0 + g.0)
+        });
+    }
+
+    /// The currently installed breaker-power ceiling, if any.
+    pub fn feeder_cap(&self) -> Option<Watts> {
+        self.feeder_cap
+    }
+
+    /// Apply the market ceiling to a breaker-power target.
+    fn cap_p_cb(&self, p_cb: Watts) -> Watts {
+        match self.feeder_cap {
+            Some(cap) => Watts(p_cb.0.min(cap.0)),
+            None => p_cb,
+        }
     }
 
     /// Degradation-ladder rungs 1–2: classify the raw measurement and
@@ -323,7 +387,7 @@ impl SprintCon {
             SprintMode::Sprinting | SprintMode::CbProtect => {
                 // In CbProtect the allocator is already forced into
                 // recovery, so targets.p_cb is the rated capacity.
-                let p_cb = targets.p_cb;
+                let p_cb = targets.p_cb.map(|p| self.cap_p_cb(p));
                 let p_batch = targets.p_batch;
                 let decision = self.server_ctrl.control(
                     p_use,
@@ -354,7 +418,7 @@ impl SprintCon {
                 // Budget for the whole rack: P_cb while conserving the
                 // UPS; the plain rated capacity once the sprint is over.
                 let budget = if self.mode == SprintMode::UpsConserve {
-                    targets.p_cb.unwrap_or(self.cfg.rated())
+                    self.cap_p_cb(targets.p_cb.unwrap_or(self.cfg.rated()))
                 } else {
                     self.cfg.rated()
                 };
@@ -515,6 +579,64 @@ mod tests {
             step_once(&mut sc, 0.1, true, 1.0);
         }
         assert_eq!(sc.now(), Seconds(10.0));
+    }
+
+    #[test]
+    fn feeder_grant_caps_the_breaker_target() {
+        let mut sc = SprintCon::new(cfg());
+        // 300 W of granted headroom: the overload target drops from
+        // 4000 W to rated + 300 = 3500 W, and the UPS covers the rest.
+        sc.apply_feeder_grant(Some(Watts(300.0)));
+        assert_eq!(sc.feeder_cap(), Some(Watts(3500.0)));
+        let out = step_once(&mut sc, 0.1, true, 1.0);
+        assert_eq!(out.mode, SprintMode::Sprinting);
+        assert_eq!(out.p_cb_target, Some(Watts(3500.0)));
+        assert!((out.ups_discharge.0 - (4200.0 - 3500.0 * 0.99)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ample_or_absent_grant_is_bit_transparent() {
+        // The single-rack equivalence contract: no cap, a full-swing
+        // grant, and a generous grant all reproduce the uncapped
+        // commands bit for bit.
+        let mut base = SprintCon::new(cfg());
+        let o_base = step_once(&mut base, 0.1, true, 1.0);
+        for grant in [Some(Watts(800.0)), Some(Watts(5000.0)), None] {
+            let mut sc = SprintCon::new(cfg());
+            sc.apply_feeder_grant(grant);
+            let out = step_once(&mut sc, 0.1, true, 1.0);
+            assert_eq!(out.p_cb_target, o_base.p_cb_target, "{grant:?}");
+            assert_eq!(
+                out.ups_discharge.0.to_bits(),
+                o_base.ups_discharge.0.to_bits(),
+                "{grant:?}"
+            );
+            assert_eq!(out.batch_freqs, o_base.batch_freqs, "{grant:?}");
+        }
+    }
+
+    #[test]
+    fn headroom_request_is_the_overload_swing_until_the_sprint_ends() {
+        let mut sc = SprintCon::new(cfg());
+        assert_eq!(sc.headroom_request(), Watts(800.0));
+        assert!(sc.headroom_priority() >= 1.0);
+        // Recovery phases keep requesting (the grant is a ceiling, and
+        // the schedule can re-enter overload before the next round).
+        step_once(&mut sc, 0.97, true, 1.0);
+        assert_eq!(sc.mode(), SprintMode::CbProtect);
+        assert_eq!(sc.headroom_request(), Watts(800.0));
+        // Ended is terminal: nothing to bid for.
+        step_once(&mut sc, 0.99, true, 0.01);
+        assert_eq!(sc.mode(), SprintMode::Ended);
+        assert_eq!(sc.headroom_request(), Watts::ZERO);
+    }
+
+    #[test]
+    fn zero_grant_pins_the_rack_at_rated() {
+        let mut sc = SprintCon::new(cfg());
+        sc.apply_feeder_grant(Some(Watts::ZERO));
+        let out = step_once(&mut sc, 0.1, true, 1.0);
+        assert_eq!(out.p_cb_target, Some(Watts(3200.0)));
     }
 
     /// Like `step_once`, but with an arbitrary power-monitor reading.

@@ -22,6 +22,8 @@
 //!   sprinting limiter of [1]/[4], behind Fig. 3's duty cycle).
 //! * [`fan`] — cooling-fan power disturbance (§V-A).
 //! * [`topology`] — breaker + UPS feed serving a rack (Fig. 4).
+//! * [`datacenter`] — feeder → PDU → rack tree with breakers on every
+//!   shared edge (the cross-rack headroom market's substrate).
 //! * [`noise`] — seeded noise sources used by the above.
 //! * [`faults`] — deterministic fault injection (sensor, actuator,
 //!   storage, breaker, server faults) replayed from a [`faults::FaultPlan`].
@@ -31,6 +33,7 @@
 pub mod battery_life;
 pub mod breaker;
 pub mod cpu;
+pub mod datacenter;
 pub mod fan;
 pub mod faults;
 pub mod noise;
@@ -44,6 +47,7 @@ pub mod ups;
 
 pub use breaker::{BreakerSpec, CircuitBreaker};
 pub use cpu::{CoreRole, FreqScale};
+pub use datacenter::{Datacenter, DatacenterOutcome, DatacenterTopology, PduSpec, TopologyError};
 pub use faults::{ActiveFaults, FaultEvent, FaultInjector, FaultKind, FaultPlan, StochasticFault};
 pub use rack::{
     CoreId, PowerMonitor, Rack, RackBuilder, RackConfigError, RackState, RoleView, RoleViewMut,

@@ -347,26 +347,6 @@ impl Rack {
         RackBuilder::new()
     }
 
-    /// Build a rack of `n` servers from one spec, each with
-    /// `interactive_cores` interactive cores (the rest batch).
-    #[deprecated(note = "use Rack::builder() and handle RackConfigError")]
-    pub fn homogeneous(spec: ServerSpec, n: usize, interactive_cores: usize) -> Self {
-        RackBuilder::new()
-            .server(spec)
-            .num_servers(n)
-            .interactive_cores_per_server(interactive_cores)
-            .build()
-            .unwrap_or_else(|e| panic!("invalid rack: {e}"))
-    }
-
-    /// The paper's rack: 16 servers, 8 cores each, 4 interactive + 4 batch.
-    #[deprecated(note = "use Rack::builder().build()")]
-    pub fn paper_default() -> Self {
-        RackBuilder::new()
-            .build()
-            .unwrap_or_else(|e| panic!("invalid rack: {e}"))
-    }
-
     // -- geometry ------------------------------------------------------
 
     pub fn num_servers(&self) -> usize {
@@ -567,14 +547,6 @@ impl Rack {
                 *dst = Utilization(sum / ipc as f64);
             }
         }
-    }
-
-    /// Per-server mean utilization of interactive cores, allocating.
-    #[deprecated(note = "use interactive_utils_into with a reused buffer")]
-    pub fn interactive_util_vector(&self) -> Vec<Utilization> {
-        let mut out = Vec::new();
-        self.interactive_utils_into(&mut out);
-        out
     }
 
     /// Per-server mean interactive frequency (the `f_i` driving the
@@ -1100,16 +1072,20 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_build_the_same_rack() {
-        let a = Rack::homogeneous(ServerSpec::paper_default(), 16, 4);
-        let b = Rack::paper_default();
+    fn write_into_reuses_the_buffer_without_stale_tails() {
         let c = paper_rack();
-        assert_eq!(a, c);
-        assert_eq!(b, c);
-        let mut v = Vec::new();
+        let mut v = vec![Utilization(0.123); 64];
         c.interactive_utils_into(&mut v);
-        assert_eq!(c.interactive_util_vector(), v);
+        assert_eq!(v.len(), c.num_servers());
+        // Reference semantics: per-server mean over the interactive row.
+        let ipc = c.interactive_cores_per_server();
+        for (s, got) in v.iter().enumerate() {
+            let mean: f64 = (0..ipc)
+                .map(|core| c.util(CoreId { server: s, core }).0)
+                .sum::<f64>()
+                / ipc as f64;
+            assert_eq!(got.0.to_bits(), mean.to_bits());
+        }
     }
 
     #[test]

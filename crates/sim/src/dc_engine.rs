@@ -1,0 +1,589 @@
+//! The datacenter engine: one SprintCon stack per rack under a shared
+//! feeder → PDU → rack power tree, coupled only through the two-level
+//! headroom market of `sprintcon::bidding`.
+//!
+//! ## Structure
+//!
+//! A [`DcScenario`] is a rack template ([`Scenario`]) plus a
+//! [`DatacenterTopology`]. Rack `r` runs the template with seed
+//! `base.seed + r` — rack 0 *is* the template, which is what makes the
+//! single-rack equivalence gate possible (see below). Each rack is a
+//! full [`RackSim`] + [`SprintConPolicy`] + [`Recorder`] shard with its
+//! own thread-scoped telemetry collector, exactly mirroring
+//! `experiment::run_instrumented` so a shard's [`RunOutput`] digests
+//! identically to a standalone run.
+//!
+//! ## Determinism contract
+//!
+//! Time is chopped into *epochs* of one allocator period
+//! (`SprintConConfig::allocator_period`, 30 s in the paper). The loop
+//! alternates:
+//!
+//! 1. a **sequential market round** on the driving thread: every rack
+//!    bids its overload headroom ([`sprintcon::SprintCon::headroom_request`]),
+//!    [`allocate_headroom_two_level`] clears the feeder budget through
+//!    the PDU caps, and the grants are installed as breaker-target
+//!    ceilings ([`sprintcon::SprintCon::apply_feeder_grant`]);
+//! 2. **parallel epoch stepping**: shards advance one epoch with no
+//!    shared state — cross-rack information flows *only* through the
+//!    market round at the boundary — sharded one-rack-per-worker over
+//!    the same rayon pool the [`Campaign`](crate::exec::Campaign) layer
+//!    uses. Workers are fresh threads and every shard installs its own
+//!    collector, so metrics cannot bleed between racks;
+//! 3. a **sequential tree replay**: the recorded per-rack breaker powers
+//!    of the epoch drive the [`Datacenter`] PDU/feeder thermal breakers
+//!    tick by tick.
+//!
+//! Because market rounds and the tree replay are sequential and the
+//! epoch stepping is embarrassingly parallel, the run is a pure function
+//! of the scenario: [`DatacenterSim::run`] is bit-identical across
+//! worker counts, which [`DcRunOutput::digest`] (an FNV fold of the
+//! per-rack [`run_digest`]s, the market grants, and the aggregate
+//! breaker outcomes) makes checkable in one comparison.
+//! `bench_datacenter --check` and `tests/datacenter.rs` enforce both
+//! that gate and single-rack equivalence: under a
+//! [`DatacenterTopology::single_rack`] tree with an ample edge rating,
+//! every grant is bit-transparent (`min(p_cb, rated + grant)` returns
+//! `p_cb` exactly), so rack 0's digest equals the plain
+//! `run_policy(.., PolicyKind::SprintCon)` digest bit for bit.
+//!
+//! Market rounds are telemetry-free by construction (the run digest
+//! includes telemetry counters, so a bid must not perturb a rack's
+//! digest).
+
+use crate::exec::{run_digest, DigestBuilder, ExecConfig};
+use crate::experiment::RunOutput;
+use crate::metrics::RunSummary;
+use crate::policy::SprintConPolicy;
+use crate::recorder::Recorder;
+use crate::scenario::{Scenario, ScenarioError};
+use powersim::datacenter::{Datacenter, DatacenterTopology, TopologyError};
+use powersim::units::Watts;
+use rayon::prelude::*;
+use sprintcon::{allocate_headroom_two_level, HeadroomBid};
+use std::sync::Arc;
+use telemetry::{Collector, NullSink};
+
+/// A datacenter experiment: one rack template fanned across a power
+/// tree. Rack `r` runs `base` with seed `base.seed + r` (wrapping), so
+/// racks see independent workload/noise/fault streams while rack 0
+/// reproduces the template run exactly.
+#[derive(Debug, Clone)]
+pub struct DcScenario {
+    /// Per-rack scenario template (defines the rack edge: servers,
+    /// breaker, UPS, workloads, faults, duration, `dt`).
+    pub base: Scenario,
+    /// The shared feeder → PDU → rack tree above the rack edges.
+    pub topo: DatacenterTopology,
+}
+
+impl DcScenario {
+    /// Validate both layers and assemble.
+    pub fn new(base: Scenario, topo: DatacenterTopology) -> Result<Self, DcError> {
+        base.validate().map_err(DcError::Scenario)?;
+        topo.validate().map_err(DcError::Topology)?;
+        Ok(DcScenario { base, topo })
+    }
+
+    /// The scenario rack `r` runs: the template reseeded with
+    /// `base.seed + r`. `rack_scenario(0) == base`.
+    pub fn rack_scenario(&self, rack: usize) -> Scenario {
+        let mut sc = self.base.clone();
+        sc.seed = self.base.seed.wrapping_add(rack as u64);
+        sc
+    }
+}
+
+/// Why a datacenter scenario failed validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DcError {
+    Scenario(ScenarioError),
+    Topology(TopologyError),
+    /// A PDU's rating cannot even carry its member racks at rated draw.
+    PduBelowRated {
+        pdu: usize,
+        rating: Watts,
+        rated_sum: Watts,
+    },
+    /// The feeder's rating cannot carry every rack at rated draw.
+    FeederBelowRated {
+        rating: Watts,
+        rated_sum: Watts,
+    },
+}
+
+impl std::fmt::Display for DcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DcError::Scenario(e) => write!(f, "rack scenario: {e}"),
+            DcError::Topology(e) => write!(f, "power tree: {e}"),
+            DcError::PduBelowRated {
+                pdu,
+                rating,
+                rated_sum,
+            } => write!(
+                f,
+                "PDU {pdu} rated at {rating} cannot carry its racks' rated draw of {rated_sum}"
+            ),
+            DcError::FeederBelowRated { rating, rated_sum } => write!(
+                f,
+                "feeder rated at {rating} cannot carry the racks' rated draw of {rated_sum}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DcError::Scenario(e) => Some(e),
+            DcError::Topology(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// One cleared headroom auction at an epoch boundary.
+#[derive(Debug, Clone)]
+pub struct MarketRound {
+    /// Epoch index (rounds fire at `t = epoch · allocator_period`).
+    pub epoch: usize,
+    /// Granted headroom watts per rack, rack order.
+    pub grants: Vec<Watts>,
+    /// Total watts handed out this round (`≤ budget`).
+    pub spent: Watts,
+    /// The feeder headroom budget the round cleared against.
+    pub budget: Watts,
+}
+
+/// Everything a datacenter run produces.
+#[derive(Debug)]
+pub struct DcRunOutput {
+    /// Per-rack results, rack order — each shaped exactly like a
+    /// standalone `run_policy` output (recording, §VII summary,
+    /// telemetry snapshot).
+    pub racks: Vec<RunOutput>,
+    /// The cleared market rounds, epoch order.
+    pub rounds: Vec<MarketRound>,
+    /// `pdu_of[r]` — which PDU rack `r` hangs off (conservation tests).
+    pub pdu_of: Vec<usize>,
+    /// Per-PDU headroom caps the auctions cleared against.
+    pub pdu_caps: Vec<Watts>,
+    /// The feeder headroom budget.
+    pub feeder_budget: Watts,
+    /// Control periods during which each PDU breaker tripped.
+    pub pdu_trip_periods: Vec<u64>,
+    /// Control periods during which the feeder breaker tripped.
+    pub feeder_trip_periods: u64,
+    /// Peak instantaneous feeder load over the run.
+    pub peak_feeder_load: Watts,
+    /// Determinism digest of the whole run: per-rack [`run_digest`]s in
+    /// rack order, the market rounds, and the aggregate tree outcomes.
+    /// Bit-identical across worker counts.
+    pub digest: u64,
+}
+
+impl DcRunOutput {
+    /// `Σ grants` of round `i` — conservation checks read this against
+    /// [`DcRunOutput::feeder_budget`].
+    pub fn round_total(&self, i: usize) -> Watts {
+        Watts(self.rounds[i].grants.iter().map(|g| g.0).sum())
+    }
+}
+
+/// One rack's full stack: plant, controller, recording, and the
+/// thread-scoped collector its telemetry lands in.
+struct RackShard {
+    sim: crate::engine::RackSim,
+    policy: SprintConPolicy,
+    rec: Recorder,
+    collector: Arc<Collector>,
+}
+
+/// The assembled datacenter: rack shards plus the shared power tree.
+pub struct DatacenterSim {
+    scenario: DcScenario,
+    shards: Vec<RackShard>,
+    dc: Datacenter,
+    /// Rack → PDU map (topology order, cached for the market rounds).
+    pdu_of: Vec<usize>,
+    /// Per-PDU headroom above the members' combined rated draw.
+    pdu_caps: Vec<Watts>,
+    /// Feeder headroom above the whole floor's rated draw.
+    feeder_budget: Watts,
+    /// Control periods per market epoch (`allocator_period / dt`).
+    epoch_ticks: usize,
+}
+
+impl DatacenterSim {
+    /// Build every rack shard and the shared tree from the scenario.
+    ///
+    /// Shards are assembled inside their own collector scope, mirroring
+    /// `experiment::run_instrumented`, so construction-time telemetry
+    /// (if any) lands in the same place as a standalone run's.
+    pub fn from_scenario(scenario: &DcScenario) -> Result<Self, DcError> {
+        scenario.base.validate().map_err(DcError::Scenario)?;
+        scenario.topo.validate().map_err(DcError::Topology)?;
+        let num_racks = scenario.topo.num_racks();
+        let steps = (scenario.base.duration.0 / scenario.base.dt.0).round() as usize;
+        let mut shards = Vec::with_capacity(num_racks);
+        for r in 0..num_racks {
+            let sc = scenario.rack_scenario(r);
+            let collector = Arc::new(Collector::new(Box::new(NullSink)));
+            let (sim, policy) = telemetry::with_collector(Arc::clone(&collector), || {
+                (sc.build(), SprintConPolicy::paper_default())
+            });
+            shards.push(RackShard {
+                sim,
+                policy,
+                rec: Recorder::with_capacity(steps),
+                collector,
+            });
+        }
+
+        // Headroom budgets: what each tree edge can carry beyond its
+        // subtree's combined rated draw. The market clears *headroom*,
+        // so a non-negative budget at every edge is a hard requirement.
+        let mut pdu_caps = Vec::with_capacity(scenario.topo.num_pdus());
+        let mut rated_total = 0.0;
+        for (p, pdu) in scenario.topo.pdus.iter().enumerate() {
+            let rated_sum: f64 = scenario
+                .topo
+                .racks_of_pdu(p)
+                .map(|r| shards[r].policy.inner().cfg.rated().0)
+                .sum();
+            rated_total += rated_sum;
+            if pdu.rating.0 < rated_sum {
+                return Err(DcError::PduBelowRated {
+                    pdu: p,
+                    rating: pdu.rating,
+                    rated_sum: Watts(rated_sum),
+                });
+            }
+            pdu_caps.push(Watts(pdu.rating.0 - rated_sum));
+        }
+        if scenario.topo.feeder_rating.0 < rated_total {
+            return Err(DcError::FeederBelowRated {
+                rating: scenario.topo.feeder_rating,
+                rated_sum: Watts(rated_total),
+            });
+        }
+        let feeder_budget = Watts(scenario.topo.feeder_rating.0 - rated_total);
+
+        let pdu_of: Vec<usize> = (0..num_racks)
+            .map(|r| scenario.topo.pdu_of_rack(r))
+            .collect();
+        let period = shards[0].policy.inner().cfg.allocator_period;
+        let epoch_ticks = ((period.0 / scenario.base.dt.0).round() as usize).max(1);
+        let dc = Datacenter::paper_calibrated(scenario.topo.clone()).map_err(DcError::Topology)?;
+        Ok(DatacenterSim {
+            scenario: scenario.clone(),
+            shards,
+            dc,
+            pdu_of,
+            pdu_caps,
+            feeder_budget,
+            epoch_ticks,
+        })
+    }
+
+    pub fn num_racks(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The feeder headroom budget the market clears each epoch.
+    pub fn feeder_budget(&self) -> Watts {
+        self.feeder_budget
+    }
+
+    /// Control periods per market epoch.
+    pub fn epoch_ticks(&self) -> usize {
+        self.epoch_ticks
+    }
+
+    /// One sequential market round: gather bids, clear the two-level
+    /// auction, install the grants as breaker-target ceilings.
+    fn market_round(&mut self, epoch: usize) -> MarketRound {
+        let bids: Vec<HeadroomBid> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(r, s)| HeadroomBid {
+                id: r,
+                request: s.policy.inner().headroom_request(),
+                priority: s.policy.inner().headroom_priority(),
+            })
+            .collect();
+        let alloc =
+            allocate_headroom_two_level(&bids, &self.pdu_of, &self.pdu_caps, self.feeder_budget);
+        // Conservation is the market's contract; a violation here is a
+        // bug in the auction, not a recoverable condition.
+        assert!(
+            alloc.spent.0 <= self.feeder_budget.0 * (1.0 + 1e-12) + 1e-9,
+            "market overspent the feeder budget: {} > {}",
+            alloc.spent,
+            self.feeder_budget
+        );
+        for (shard, &grant) in self.shards.iter_mut().zip(&alloc.grants) {
+            shard.policy.inner_mut().apply_feeder_grant(Some(grant));
+        }
+        MarketRound {
+            epoch,
+            grants: alloc.grants,
+            spent: alloc.spent,
+            budget: self.feeder_budget,
+        }
+    }
+
+    /// Advance every shard `ticks` control periods, one rack per worker.
+    ///
+    /// Each worker re-installs its shard's collector (pool workers are
+    /// fresh threads with no inherited thread-locals), so per-rack
+    /// telemetry stays isolated exactly as in a [`Campaign`] run.
+    ///
+    /// [`Campaign`]: crate::exec::Campaign
+    fn step_epoch(&mut self, ticks: usize, exec: ExecConfig) {
+        let width = exec.resolved_jobs().min(self.shards.len()).max(1);
+        let body = |shard: &mut RackShard| {
+            telemetry::with_collector(Arc::clone(&shard.collector), || {
+                for _ in 0..ticks {
+                    shard.sim.step(&mut shard.policy, &mut shard.rec);
+                }
+            });
+        };
+        if width <= 1 {
+            for shard in self.shards.iter_mut() {
+                body(shard);
+            }
+        } else {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(width)
+                .build()
+                .unwrap_or_else(|e| panic!("building a {width}-thread pool cannot fail: {e}"));
+            pool.install(|| self.shards.par_iter_mut().for_each(body));
+        }
+    }
+
+    /// Run the whole campaign: market rounds at every allocator
+    /// boundary, parallel epoch stepping between them, and the tree
+    /// replay behind each epoch. Consumes the sim (a run is one-shot).
+    pub fn run(mut self, exec: ExecConfig) -> DcRunOutput {
+        let dt = self.scenario.base.dt;
+        let total = (self.scenario.base.duration.0 / dt.0).round() as usize;
+        let mut rounds = Vec::with_capacity(total / self.epoch_ticks + 1);
+        let mut pdu_trip_periods = vec![0u64; self.scenario.topo.num_pdus()];
+        let mut feeder_trip_periods = 0u64;
+        let mut peak_feeder_load = Watts::ZERO;
+        let mut cb_scratch = vec![Watts::ZERO; self.shards.len()];
+
+        let mut done = 0;
+        let mut epoch = 0;
+        while done < total {
+            let ticks = self.epoch_ticks.min(total - done);
+            rounds.push(self.market_round(epoch));
+            self.step_epoch(ticks, exec);
+            // Replay the shared tree over the epoch's recorded rack
+            // breaker powers (cheap: one sum per PDU per tick).
+            for k in 0..ticks {
+                for (slot, shard) in cb_scratch.iter_mut().zip(&self.shards) {
+                    *slot = shard.rec.samples()[done + k].cb_power;
+                }
+                let out = self.dc.step(&cb_scratch, dt);
+                for (count, &tripped) in pdu_trip_periods.iter_mut().zip(&out.pdu_tripped) {
+                    *count += tripped as u64;
+                }
+                feeder_trip_periods += out.feeder_tripped as u64;
+                if out.feeder_load.0 > peak_feeder_load.0 {
+                    peak_feeder_load = out.feeder_load;
+                }
+            }
+            done += ticks;
+            epoch += 1;
+        }
+
+        // Finalize each shard exactly like `run_instrumented`: summary
+        // inside the collector scope, then flush and snapshot.
+        let racks: Vec<RunOutput> = self
+            .shards
+            .into_iter()
+            .map(|shard| {
+                let summary = telemetry::with_collector(Arc::clone(&shard.collector), || {
+                    RunSummary::from_run("SprintCon", &shard.sim, &shard.rec)
+                });
+                shard.collector.flush();
+                RunOutput {
+                    recorder: shard.rec,
+                    summary,
+                    metrics: shard.collector.snapshot(),
+                }
+            })
+            .collect();
+
+        let mut h = DigestBuilder::new();
+        for rack in &racks {
+            h.u64(run_digest(rack));
+        }
+        for round in &rounds {
+            h.u64(round.epoch as u64);
+            h.f64(round.spent.0);
+            h.f64(round.budget.0);
+            for g in &round.grants {
+                h.f64(g.0);
+            }
+        }
+        for &t in &pdu_trip_periods {
+            h.u64(t);
+        }
+        h.u64(feeder_trip_periods);
+        h.f64(peak_feeder_load.0);
+        let digest = h.finish();
+
+        DcRunOutput {
+            racks,
+            rounds,
+            pdu_of: self.pdu_of,
+            pdu_caps: self.pdu_caps,
+            feeder_budget: self.feeder_budget,
+            pdu_trip_periods,
+            feeder_trip_periods,
+            peak_feeder_load,
+            digest,
+        }
+    }
+}
+
+/// Build and run a datacenter campaign in one call.
+pub fn run_datacenter(scenario: &DcScenario, exec: ExecConfig) -> Result<DcRunOutput, DcError> {
+    Ok(DatacenterSim::from_scenario(scenario)?.run(exec))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{run_policy, PolicyKind};
+    use powersim::units::Seconds;
+
+    fn quick_base(seed: u64) -> Scenario {
+        let mut sc = Scenario::paper_default(seed);
+        sc.duration = Seconds(90.0); // three market epochs
+        sc
+    }
+
+    fn small_topo(racks: usize) -> DatacenterTopology {
+        // Two PDUs where possible; per-PDU headroom for one overload
+        // swing, feeder headroom for half the racks' swings.
+        let per_pdu = racks.div_ceil(2).max(1);
+        let pdus = racks.div_ceil(per_pdu);
+        let mut topo = DatacenterTopology::uniform(
+            pdus,
+            per_pdu,
+            Watts(per_pdu as f64 * 3200.0 + 800.0),
+            Watts((pdus * per_pdu) as f64 * 3200.0 + 800.0 * racks as f64 / 2.0),
+        )
+        .expect("uniform topology is valid");
+        // Trim the last PDU if the grid over-provisioned racks.
+        let extra = pdus * per_pdu - racks;
+        if extra > 0 {
+            let last = topo.pdus.len() - 1;
+            topo.pdus[last].num_racks -= extra;
+        }
+        topo
+    }
+
+    #[test]
+    fn single_rack_datacenter_reproduces_the_standalone_digest() {
+        let base = quick_base(42);
+        let topo = DatacenterTopology::single_rack(Watts(4000.0)).unwrap();
+        let dc = DcScenario::new(base.clone(), topo).unwrap();
+        let out = run_datacenter(&dc, ExecConfig::sequential()).unwrap();
+        assert_eq!(out.racks.len(), 1);
+        let standalone = run_policy(&base, PolicyKind::SprintCon);
+        assert_eq!(
+            run_digest(&out.racks[0]),
+            run_digest(&standalone),
+            "ample grants must be bit-transparent"
+        );
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_sequential() {
+        let dc = DcScenario::new(quick_base(7), small_topo(5)).unwrap();
+        let seq = run_datacenter(&dc, ExecConfig::sequential()).unwrap();
+        for jobs in [2, 4] {
+            let par = run_datacenter(&dc, ExecConfig::jobs(jobs)).unwrap();
+            assert_eq!(seq.digest, par.digest, "jobs={jobs} diverged");
+        }
+    }
+
+    #[test]
+    fn market_rounds_conserve_the_feeder_budget() {
+        let dc = DcScenario::new(quick_base(3), small_topo(6)).unwrap();
+        let out = run_datacenter(&dc, ExecConfig::jobs(2)).unwrap();
+        assert_eq!(out.rounds.len(), 3, "90 s / 30 s epochs");
+        for (i, round) in out.rounds.iter().enumerate() {
+            let total = out.round_total(i);
+            assert!(
+                total.0 <= out.feeder_budget.0 + 1e-9,
+                "round {i}: {total} > {}",
+                out.feeder_budget
+            );
+            // Per-PDU conservation too.
+            for (p, cap) in out.pdu_caps.iter().enumerate() {
+                let pdu_sum: f64 = round
+                    .grants
+                    .iter()
+                    .zip(&out.pdu_of)
+                    .filter(|(_, &q)| q == p)
+                    .map(|(g, _)| g.0)
+                    .sum();
+                assert!(pdu_sum <= cap.0 + 1e-9, "PDU {p}: {pdu_sum} > {cap}");
+            }
+        }
+    }
+
+    #[test]
+    fn scarce_feeder_headroom_is_rationed_not_overspent() {
+        // Feeder headroom for only one overload swing across 4 racks.
+        let topo = DatacenterTopology::uniform(
+            2,
+            2,
+            Watts(2.0 * 3200.0 + 800.0),
+            Watts(4.0 * 3200.0 + 800.0),
+        )
+        .unwrap();
+        let dc = DcScenario::new(quick_base(5), topo).unwrap();
+        let out = run_datacenter(&dc, ExecConfig::sequential()).unwrap();
+        for round in &out.rounds {
+            let total: f64 = round.grants.iter().map(|g| g.0).sum();
+            assert!(total <= 800.0 + 1e-9, "overspent: {total}");
+        }
+        // Someone got something while sprints were live.
+        assert!(out.rounds[0].spent.0 > 0.0);
+    }
+
+    #[test]
+    fn rack_scenarios_offset_the_seed() {
+        let dc = DcScenario::new(quick_base(10), small_topo(3)).unwrap();
+        assert_eq!(dc.rack_scenario(0).seed, 10);
+        assert_eq!(dc.rack_scenario(2).seed, 12);
+    }
+
+    #[test]
+    fn undersized_edges_are_rejected() {
+        // PDU rating below the members' rated draw.
+        let topo = DatacenterTopology::uniform(1, 2, Watts(6000.0), Watts(8000.0)).unwrap();
+        let err = DatacenterSim::from_scenario(&DcScenario::new(quick_base(1), topo).unwrap())
+            .err()
+            .expect("6 kW PDU cannot carry 2 racks rated 3.2 kW each");
+        assert!(
+            matches!(err, DcError::PduBelowRated { pdu: 0, .. }),
+            "{err}"
+        );
+        // Feeder rating below the floor's rated draw.
+        let topo = DatacenterTopology::uniform(2, 1, Watts(4000.0), Watts(6000.0)).unwrap();
+        let err = DatacenterSim::from_scenario(&DcScenario::new(quick_base(1), topo).unwrap())
+            .err()
+            .expect("6 kW feeder cannot carry 2 racks rated 3.2 kW each");
+        assert!(matches!(err, DcError::FeederBelowRated { .. }), "{err}");
+    }
+}

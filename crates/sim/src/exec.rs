@@ -379,8 +379,52 @@ pub fn run_digest(out: &RunOutput) -> u64 {
     h.finish()
 }
 
+/// Order-sensitive FNV-1a combiner for composite digests.
+///
+/// The datacenter engine folds per-rack [`run_digest`] values plus the
+/// market-round grants and aggregate breaker outcomes into one
+/// deterministic digest; anything else that needs to hash structured
+/// results with the same bit-exact f64 semantics can reuse it.
+#[derive(Debug)]
+pub struct DigestBuilder(Fnv);
+
+impl Default for DigestBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DigestBuilder {
+    pub fn new() -> Self {
+        DigestBuilder(Fnv::new())
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.0.u64(v);
+    }
+
+    /// Hash the exact bit pattern of `v` (distinguishes `-0.0`/`0.0`,
+    /// NaN payloads — matching [`run_digest`]'s semantics).
+    pub fn f64(&mut self, v: f64) {
+        self.0.f64(v);
+    }
+
+    pub fn bool(&mut self, v: bool) {
+        self.0.bool(v);
+    }
+
+    pub fn str(&mut self, s: &str) {
+        self.0.str(s);
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.0.finish()
+    }
+}
+
 /// Minimal FNV-1a accumulator (no std `Hasher` detour: f64 hashing must
 /// be explicit about bit patterns).
+#[derive(Debug)]
 struct Fnv(u64);
 
 impl Fnv {

@@ -7,6 +7,9 @@
 //!
 //! * [`engine`] — the tick loop (actuate → execute → power → serve →
 //!   record) with trip/brownout semantics.
+//! * [`dc_engine`] — many racks under a feeder → PDU → rack power tree,
+//!   coupled only through the two-level headroom market at allocator
+//!   boundaries; parallel over racks, bit-identical to sequential.
 //! * [`policy`] — the policy trait plus SprintCon/SGCT adapters.
 //! * [`scenario`] — the §VI-A setup builder (16 servers, 3.2 kW CB,
 //!   400 Wh UPS, Wikipedia-like burst, SPEC-like jobs).
@@ -24,6 +27,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod ascii_plot;
+pub mod dc_engine;
 pub mod engine;
 pub mod exec;
 pub mod experiment;
@@ -34,10 +38,11 @@ pub mod qos;
 pub mod recorder;
 pub mod scenario;
 
+pub use dc_engine::{run_datacenter, DatacenterSim, DcError, DcRunOutput, DcScenario, MarketRound};
 pub use engine::RackSim;
 pub use exec::{
     run_all_parallel, run_digest, sweep_parallel, Campaign, CampaignEntry, CampaignResult,
-    ExecConfig,
+    DigestBuilder, ExecConfig,
 };
 pub use experiment::{
     aggregate_metrics, run_all, run_policy, run_policy_traced, run_policy_with, sweep, PolicyKind,

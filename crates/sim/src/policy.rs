@@ -98,6 +98,13 @@ impl SprintConPolicy {
     pub fn inner(&self) -> &sprintcon::SprintCon {
         &self.ctl
     }
+
+    /// Mutable access to the wrapped control system — the datacenter
+    /// engine uses this to install headroom-market grants between
+    /// epochs ([`sprintcon::SprintCon::apply_feeder_grant`]).
+    pub fn inner_mut(&mut self) -> &mut sprintcon::SprintCon {
+        &mut self.ctl
+    }
 }
 
 impl Policy for SprintConPolicy {

@@ -5,8 +5,9 @@
 //! `rayon-core`/`crossbeam` dependency tree) cannot be fetched. This shim
 //! keeps the workspace's execution layer compiling against the subset of
 //! the rayon API it actually uses — `ThreadPoolBuilder`, `ThreadPool::
-//! install`, `current_num_threads`, and ordered `par_iter().map(..)
-//! .collect::<Vec<_>>()` over slices — implemented with
+//! install`, `current_num_threads`, ordered `par_iter().map(..)
+//! .collect::<Vec<_>>()` over slices, and `par_iter_mut().for_each(..)`
+//! for in-place sharded stepping — implemented with
 //! `std::thread::scope` workers over contiguous index chunks.
 //!
 //! Semantics preserved from the real crate, relied on by callers:
@@ -161,10 +162,37 @@ where
         .collect()
 }
 
+/// In-place parallel `for_each` over a mutable slice: each worker owns a
+/// contiguous chunk, so items are mutated exactly once with no aliasing.
+fn par_for_each_mut<T, F>(items: &mut [T], f: &F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let n = items.len();
+    let width = current_num_threads().min(n).max(1);
+    if width <= 1 {
+        for item in items.iter_mut() {
+            f(item);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(width);
+    std::thread::scope(|scope| {
+        for slots in items.chunks_mut(chunk) {
+            scope.spawn(move || {
+                for item in slots.iter_mut() {
+                    f(item);
+                }
+            });
+        }
+    });
+}
+
 pub mod iter {
     //! The fragment of `rayon::iter` the workspace uses.
 
-    use super::par_map_slice;
+    use super::{par_for_each_mut, par_map_slice};
 
     /// Borrowing conversion into a parallel iterator
     /// (`rayon::iter::IntoParallelRefIterator`).
@@ -237,6 +265,54 @@ pub mod iter {
         }
     }
 
+    /// Mutably-borrowing conversion into a parallel iterator
+    /// (`rayon::iter::IntoParallelRefMutIterator`).
+    pub trait IntoParallelRefMutIterator<'data> {
+        type Item: Send + 'data;
+        fn par_iter_mut(&'data mut self) -> ParIterMut<'data, Self::Item>;
+    }
+
+    impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+        type Item = T;
+        fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+            ParIterMut { items: self }
+        }
+    }
+
+    impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+        type Item = T;
+        fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+            ParIterMut { items: self }
+        }
+    }
+
+    /// Parallel iterator over `&mut [T]`: each item visited exactly once,
+    /// workers owning disjoint contiguous chunks.
+    #[derive(Debug)]
+    pub struct ParIterMut<'a, T> {
+        items: &'a mut [T],
+    }
+
+    impl<T: Send> ParIterMut<'_, T> {
+        /// Run `f` on every item in place. Like the read-only `collect`,
+        /// chunking is deterministic in the installed width, and workers
+        /// are fresh threads that inherit no thread-locals.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&mut T) + Sync,
+        {
+            par_for_each_mut(self.items, &f);
+        }
+
+        pub fn len(&self) -> usize {
+            self.items.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.items.is_empty()
+        }
+    }
+
     /// Shim-local stand-in for `FromParallelIterator`, restricted to the
     /// ordered results `collect` produces.
     pub trait FromOrderedParallel<R> {
@@ -252,7 +328,10 @@ pub mod iter {
 
 pub mod prelude {
     //! `use rayon::prelude::*;` compatibility.
-    pub use crate::iter::{FromOrderedParallel, IntoParallelRefIterator, ParIter, ParMap};
+    pub use crate::iter::{
+        FromOrderedParallel, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+        ParIterMut, ParMap,
+    };
 }
 
 #[cfg(test)]
@@ -322,6 +401,47 @@ mod tests {
             assert!(marks.contains(&0));
         }
         assert_eq!(marks.len(), 8);
+    }
+
+    #[test]
+    fn par_iter_mut_visits_every_item_once() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let mut items: Vec<u64> = (0..103).collect();
+        pool.install(|| items.par_iter_mut().for_each(|x| *x = *x * 3 + 1));
+        let expect: Vec<u64> = (0..103).map(|x| x * 3 + 1).collect();
+        assert_eq!(items, expect);
+    }
+
+    #[test]
+    fn par_iter_mut_single_width_runs_inline() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let caller = std::thread::current().id();
+        let mut ids = vec![None; 7];
+        pool.install(|| {
+            ids.par_iter_mut()
+                .for_each(|slot| *slot = Some(std::thread::current().id()))
+        });
+        assert!(ids.iter().all(|id| *id == Some(caller)));
+    }
+
+    #[test]
+    fn par_iter_mut_empty_is_a_noop() {
+        let mut none: Vec<u64> = Vec::new();
+        none.par_iter_mut().for_each(|_| unreachable!());
+    }
+
+    #[test]
+    fn par_iter_mut_panic_propagates() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                let mut items: Vec<u32> = (0..8).collect();
+                items
+                    .par_iter_mut()
+                    .for_each(|x| if *x == 5 { panic!("boom") } else { *x += 1 });
+            })
+        }));
+        assert!(result.is_err());
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Datacenter-engine contract tests: sharded multi-rack execution must
+//! be bit-identical to sequential execution (including under active
+//! fault injection), the headroom market must conserve every tree
+//! edge's budget at every supervisor boundary, and a single-rack
+//! datacenter must reproduce the standalone engine's digest exactly.
+//! CI runs this suite plus `bench_datacenter --check` on every push.
+
+use powersim::datacenter::DatacenterTopology;
+use powersim::faults::FaultPlan;
+use powersim::units::{Seconds, Watts};
+use proptest::prelude::*;
+use simkit::{
+    run_datacenter, run_digest, run_policy, DcScenario, ExecConfig, PolicyKind, Scenario,
+};
+
+/// A rack template with an *active* stochastic fault plan: monitor
+/// dropouts force the degraded-mode supervisor paths, which must be just
+/// as deterministic under sharded execution as the happy path.
+fn faulty_base(seed: u64, secs: f64) -> Scenario {
+    let mut sc = Scenario::builder(seed)
+        .faults(FaultPlan::monitor_dropout(0.3, Seconds(8.0)))
+        .build()
+        .expect("fault scenario is valid");
+    sc.duration = Seconds(secs);
+    sc
+}
+
+/// 2 PDUs × 3 racks with headroom for one overload swing per PDU and
+/// three floor-wide — scarce enough that the market actually rations.
+fn two_pdu_topo() -> DatacenterTopology {
+    DatacenterTopology::uniform(
+        2,
+        3,
+        Watts(3.0 * 3200.0 + 800.0),
+        Watts(6.0 * 3200.0 + 3.0 * 800.0),
+    )
+    .expect("topology is valid")
+}
+
+#[test]
+fn sharded_run_is_bit_identical_to_sequential_including_faults() {
+    let dc = DcScenario::new(faulty_base(7, 90.0), two_pdu_topo()).unwrap();
+    let seq = run_datacenter(&dc, ExecConfig::sequential()).unwrap();
+    for jobs in [2usize, 4] {
+        let par = run_datacenter(&dc, ExecConfig::jobs(jobs)).unwrap();
+        assert_eq!(
+            par.digest, seq.digest,
+            "jobs={jobs}: datacenter digest diverged from sequential"
+        );
+        // The digest covers per-rack samples/events/summary/metrics plus
+        // the market rounds; spot-check raw bit equality on one rack's
+        // trajectory as well so a digest bug cannot mask a divergence.
+        for (a, b) in par.racks[3]
+            .recorder
+            .samples()
+            .iter()
+            .zip(seq.racks[3].recorder.samples())
+        {
+            assert_eq!(a.p_total.0.to_bits(), b.p_total.0.to_bits());
+            assert_eq!(a.cb_power.0.to_bits(), b.cb_power.0.to_bits());
+        }
+        for (ra, rb) in par.rounds.iter().zip(&seq.rounds) {
+            for (ga, gb) in ra.grants.iter().zip(&rb.grants) {
+                assert_eq!(ga.0.to_bits(), gb.0.to_bits());
+            }
+        }
+    }
+}
+
+#[test]
+fn single_rack_datacenter_matches_the_standalone_engine() {
+    let mut base = Scenario::paper_default(42);
+    base.duration = Seconds(90.0);
+    // Edge rating = the overloaded draw: the feeder budget covers the
+    // full overload swing, so every grant is bit-transparent.
+    let topo = DatacenterTopology::single_rack(Watts(4000.0)).unwrap();
+    let dc = DcScenario::new(base.clone(), topo).unwrap();
+    let out = run_datacenter(&dc, ExecConfig::sequential()).unwrap();
+    let standalone = run_policy(&base, PolicyKind::SprintCon);
+    assert_eq!(
+        run_digest(&out.racks[0]),
+        run_digest(&standalone),
+        "single-rack datacenter must reproduce the standalone digest"
+    );
+    // And the digest is itself reproducible across worker counts (one
+    // rack: the pool degenerates, but the code path is exercised).
+    let par = run_datacenter(&dc, ExecConfig::jobs(2)).unwrap();
+    assert_eq!(out.digest, par.digest);
+}
+
+#[test]
+fn rack_zero_matches_standalone_even_in_a_multi_rack_floor() {
+    // Rack 0 runs the template seed verbatim; with ample headroom at
+    // every edge, its grants stay bit-transparent even while five other
+    // racks bid in the same market.
+    let mut base = Scenario::paper_default(21);
+    base.duration = Seconds(60.0);
+    let topo = DatacenterTopology::uniform(2, 3, Watts(3.0 * 4000.0), Watts(6.0 * 4000.0)).unwrap();
+    let dc = DcScenario::new(base.clone(), topo).unwrap();
+    let out = run_datacenter(&dc, ExecConfig::jobs(3)).unwrap();
+    let standalone = run_policy(&base, PolicyKind::SprintCon);
+    assert_eq!(run_digest(&out.racks[0]), run_digest(&standalone));
+    // Sibling racks run different seeds, hence different trajectories.
+    assert_ne!(run_digest(&out.racks[1]), run_digest(&out.racks[0]));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Conservation at every supervisor boundary, over random floor
+    /// shapes and seeds: Σ rack grants never exceeds the feeder budget,
+    /// and each PDU's member grants never exceed its cap.
+    #[test]
+    fn market_conserves_every_edge_budget(
+        seed in 0u64..1_000,
+        pdus in 1usize..4,
+        racks_per_pdu in 1usize..4,
+        pdu_swings in 1.0f64..3.0,
+        feeder_frac in 0.2f64..1.0,
+    ) {
+        let mut base = Scenario::paper_default(seed);
+        base.duration = Seconds(60.0);
+        let pdu_rating = racks_per_pdu as f64 * 3200.0 + pdu_swings * 800.0;
+        let n = (pdus * racks_per_pdu) as f64;
+        // Feeder headroom: a fraction of the sum of PDU headrooms, so
+        // the level-1 auction genuinely rations — but never below any
+        // single PDU's rating (the topology validator rejects that).
+        let feeder_rating =
+            (n * 3200.0 + feeder_frac * pdus as f64 * pdu_swings * 800.0).max(pdu_rating);
+        let topo = DatacenterTopology::uniform(
+            pdus,
+            racks_per_pdu,
+            Watts(pdu_rating),
+            Watts(feeder_rating),
+        )
+        .expect("generated topology is valid");
+        let dc = DcScenario::new(base, topo).expect("scenario is valid");
+        let out = run_datacenter(&dc, ExecConfig::jobs(2)).expect("tree carries rated draw");
+        prop_assert!(!out.rounds.is_empty());
+        for (i, round) in out.rounds.iter().enumerate() {
+            let total: f64 = round.grants.iter().map(|g| g.0).sum();
+            prop_assert!(
+                total <= out.feeder_budget.0 + 1e-9,
+                "round {i}: Σ grants {total} > feeder budget {}",
+                out.feeder_budget
+            );
+            for (p, cap) in out.pdu_caps.iter().enumerate() {
+                let pdu_sum: f64 = round
+                    .grants
+                    .iter()
+                    .zip(&out.pdu_of)
+                    .filter(|(_, &q)| q == p)
+                    .map(|(g, _)| g.0)
+                    .sum();
+                prop_assert!(
+                    pdu_sum <= cap.0 + 1e-9,
+                    "round {i}: PDU {p} granted {pdu_sum} > cap {cap}"
+                );
+            }
+            // Grants are non-negative and finite.
+            for g in &round.grants {
+                prop_assert!(g.0.is_finite() && g.0 >= 0.0, "bad grant {g}");
+            }
+        }
+    }
+}

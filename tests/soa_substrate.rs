@@ -50,14 +50,21 @@ fn golden_fault_plan() -> FaultPlan {
         })
 }
 
-/// Golden digests captured on the pre-rework (scalar, AoS) substrate.
-/// Any change to these values means a trajectory changed — which is a
-/// model change, not a refactor, and needs its own justification.
+/// Golden digests pinning whole-run trajectories. The SGCT digests date
+/// from the pre-rework (scalar, AoS) substrate and have survived every
+/// refactor since. The SprintCon digests were re-captured when the
+/// structured QP solver gained cross-period warm starts: carrying the
+/// coupling root between control periods changes the bisection's
+/// floating-point trajectory (fewer, differently-placed evaluations), so
+/// MPC outputs move at the ulp level while the KKT certificate — checked
+/// by `control/tests/properties.rs` — is preserved. Any *other* change
+/// to these values means a trajectory changed, which is a model change,
+/// not a refactor, and needs its own justification.
 const GOLDEN_DIGESTS: [(&str, u64); 5] = [
-    ("sprintcon_seed42_180s", 0x34910e98ec62c8c4),
+    ("sprintcon_seed42_180s", 0xdc54fcfe56a09238),
     ("sgctv2_seed7_180s", 0x156f96be14939a36),
     ("sgct_seed3_120s", 0x7df9c1e370ccfc0c),
-    ("sprintcon_faults_seed11_240s", 0x6fc66a0cfdc4a166),
+    ("sprintcon_faults_seed11_240s", 0xd2977a8f6598214e),
     ("sgctv1_faults_seed5_240s", 0x7a8855ae0bac74db),
 ];
 
