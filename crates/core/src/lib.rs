@@ -44,6 +44,7 @@
 //!     breaker_margin: 0.0,
 //!     breaker_closed: true,
 //!     ups_soc: 1.0,
+//!     queue: None,
 //! });
 //! assert_eq!(out.batch_freqs.len(), n);
 //! ```
@@ -68,5 +69,5 @@ pub use chip_quota::{divide_quota, QuotaPolicy};
 pub use config::{ConfigError, SprintConConfig};
 pub use server_controller::ServerPowerController;
 pub use sprint_control::mpc::MpcBackend;
-pub use supervisor::{SprintCon, SprintConInputs, SprintConOutputs, SprintMode};
+pub use supervisor::{QueueMeasurement, SprintCon, SprintConInputs, SprintConOutputs, SprintMode};
 pub use ups_controller::UpsPowerController;

@@ -54,6 +54,20 @@ impl std::fmt::Display for SprintMode {
     }
 }
 
+/// Open-loop request-queue measurement for one control period: what a
+/// serving front end's load balancer would report. Plain data, no
+/// telemetry — policies can be ablated on tail latency without
+/// perturbing run digests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueMeasurement {
+    /// Mean queue depth per server, requests.
+    pub depth: f64,
+    /// p99 request sojourn time over the period, seconds.
+    pub p99_s: f64,
+    /// Requests dropped per second over the period.
+    pub drop_rate: f64,
+}
+
 /// Measurements handed to the supervisor each control period.
 #[derive(Debug, Clone)]
 pub struct SprintConInputs<'a> {
@@ -71,6 +85,9 @@ pub struct SprintConInputs<'a> {
     pub breaker_closed: bool,
     /// UPS state of charge fraction in `[0, 1]`.
     pub ups_soc: f64,
+    /// One-period-stale open-loop queue measurement; `None` on the
+    /// closed-loop utilization-trace path.
+    pub queue: Option<QueueMeasurement>,
 }
 
 /// Commands returned to the plant each control period.
@@ -115,6 +132,9 @@ pub struct SprintCon {
     /// market (`rated + grant`); `None` — the single-rack default —
     /// leaves every target untouched. See [`Self::apply_feeder_grant`].
     feeder_cap: Option<Watts>,
+    /// Most recent open-loop queue measurement (store-only, like the
+    /// market methods: telemetry-free so digests are untouched).
+    last_queue: Option<QueueMeasurement>,
 }
 
 impl SprintCon {
@@ -137,6 +157,7 @@ impl SprintCon {
             stale_for: Seconds::ZERO,
             sensor_degraded: false,
             feeder_cap: None,
+            last_queue: None,
         })
     }
 
@@ -157,6 +178,14 @@ impl SprintCon {
     /// Access the server controller (model queries, tests, benches).
     pub fn server_controller(&self) -> &ServerPowerController {
         &self.server_ctrl
+    }
+
+    /// The most recent open-loop queue measurement handed to
+    /// [`Self::step`], if any — the tail-latency signal ablation
+    /// harnesses read alongside the mode. Store-only and telemetry-free
+    /// by the same contract as the market methods below.
+    pub fn queue_measurement(&self) -> Option<QueueMeasurement> {
+        self.last_queue
     }
 
     // --- datacenter headroom market (two-level §IV-C generalization) ---
@@ -322,6 +351,7 @@ impl SprintCon {
         );
         assert_eq!(inputs.jobs.len(), self.server_ctrl.num_channels());
         self.now += dt;
+        self.last_queue = inputs.queue;
 
         // Sanitize the power measurement first: everything downstream —
         // allocator bias, MPC feedback, UPS deadbeat law — consumes the
@@ -486,6 +516,7 @@ mod tests {
                 breaker_margin: margin,
                 breaker_closed: closed,
                 ups_soc: soc,
+                queue: None,
             },
         )
     }
@@ -661,6 +692,7 @@ mod tests {
                 breaker_margin: margin,
                 breaker_closed: closed,
                 ups_soc: soc,
+                queue: None,
             },
         )
     }

@@ -143,6 +143,7 @@ fn run_case(steps: &[Obs]) -> (SprintMode, MetricsSnapshot) {
                     breaker_margin: obs.margin,
                     breaker_closed: obs.closed,
                     ups_soc: obs.soc,
+                    queue: None,
                 },
             );
         }

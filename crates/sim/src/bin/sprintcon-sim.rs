@@ -116,7 +116,7 @@ fn main() -> ExitCode {
                         trace.duration()
                     );
                 }
-                sim.tier.demand = trace;
+                *sim.tier.demand_mut() = trace;
             }
             Err(e) => {
                 eprintln!("failed to read {}: {e}", path.display());
@@ -158,7 +158,7 @@ fn main() -> ExitCode {
     }
 
     println!("{}", summary_table(std::slice::from_ref(&summary)));
-    let qos = qos_report(&rec, args.slo_delay);
+    let qos = qos_report(&rec, &[args.slo_delay]);
     println!(
         "interactive QoS: mean delay {:.3}s  p95 {:.3}s  p99 {:.3}s  SLO({:.2}s) violations {:.1}% (longest {:.0}s)",
         qos.mean_delay_s,

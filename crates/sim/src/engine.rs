@@ -40,6 +40,10 @@ use powersim::units::{NormFreq, Seconds, Watts};
 use powersim::ups::UpsBattery;
 use workloads::batch::BatchJob;
 use workloads::interactive::{InteractiveLoad, InteractiveTier};
+use workloads::open_loop::{
+    OpenLoopLoad, OpenLoopTier, QueueObservation, TailSummary, WorkloadSource,
+};
+use workloads::trace::Trace;
 
 /// Busy batch cores register near-full utilization on the performance
 /// counters (stall cycles count as busy for OS-level accounting).
@@ -62,13 +66,84 @@ pub enum Substepping {
     Multirate { substeps: u32 },
 }
 
+/// The interactive tier behind the typed [`WorkloadSource`]: the
+/// closed-loop utilization model or the open-loop request queue.
+#[derive(Debug, Clone)]
+pub enum TierState {
+    /// Closed-loop utilization trace ([`WorkloadSource::UtilTrace`]).
+    Util(InteractiveTier),
+    /// Open-loop request queueing ([`WorkloadSource::OpenLoop`]).
+    OpenLoop(OpenLoopTier),
+}
+
+impl TierState {
+    /// Number of servers the tier covers.
+    pub fn num_servers(&self) -> usize {
+        match self {
+            TierState::Util(t) => t.weights.len(),
+            TierState::OpenLoop(t) => t.num_servers(),
+        }
+    }
+
+    /// The normalized demand trace driving the tier.
+    pub fn demand(&self) -> &Trace {
+        match self {
+            TierState::Util(t) => &t.demand,
+            TierState::OpenLoop(t) => &t.demand,
+        }
+    }
+
+    /// Mutable demand access — tests and the CLI splice in custom traces.
+    pub fn demand_mut(&mut self) -> &mut Trace {
+        match self {
+            TierState::Util(t) => &mut t.demand,
+            TierState::OpenLoop(t) => &mut t.demand,
+        }
+    }
+
+    /// Fraction of offered interactive work actually served.
+    pub fn service_ratio(&self) -> f64 {
+        match self {
+            TierState::Util(t) => t.service_ratio(),
+            TierState::OpenLoop(t) => t.service_ratio(),
+        }
+    }
+
+    /// Mean queued interactive work per core, seconds at peak service
+    /// rate (the closed-loop backlog, or the open-loop queue converted
+    /// through the service time) — keeps QoS analytics comparable
+    /// across sources.
+    pub fn mean_backlog(&self) -> f64 {
+        match self {
+            TierState::Util(t) => t.mean_backlog(),
+            TierState::OpenLoop(t) => t.queued_seconds_per_core(),
+        }
+    }
+
+    /// This tick's queue observation (open loop only).
+    pub fn queue(&self) -> Option<QueueObservation> {
+        match self {
+            TierState::Util(_) => None,
+            TierState::OpenLoop(t) => Some(t.last_tick()),
+        }
+    }
+
+    /// Whole-run tail summary (open loop only).
+    pub fn tail_summary(&self) -> Option<TailSummary> {
+        match self {
+            TierState::Util(_) => None,
+            TierState::OpenLoop(t) => Some(t.tail_summary()),
+        }
+    }
+}
+
 /// The complete simulated plant plus workloads.
 pub struct RackSim {
     pub rack: Rack,
     pub feed: PowerFeed,
     pub fan: FanModel,
     pub monitor: PowerMonitor,
-    pub tier: InteractiveTier,
+    pub tier: TierState,
     /// One job per batch core, rack order (server-major).
     pub jobs: Vec<BatchJob>,
     /// Per-server power state; a rack-level brownout clears all of them.
@@ -101,6 +176,11 @@ pub struct RackSim {
     scratch_inter_freqs: Vec<NormFreq>,
     /// Scratch: per-server interactive loads (reused per tick).
     scratch_loads: Vec<InteractiveLoad>,
+    /// Scratch: per-server open-loop loads (reused per tick).
+    scratch_ol_loads: Vec<OpenLoopLoad>,
+    /// Stale queue observation fed to the policy (one-period delay,
+    /// like `last_measured`); `None` on the closed-loop path.
+    last_queue: Option<QueueObservation>,
 }
 
 impl RackSim {
@@ -119,8 +199,23 @@ impl RackSim {
             .build()
             // Scenario validation is strictly tighter than the rack's.
             .expect("validated scenario implies a valid rack");
-        let demand = scenario.wiki.generate(scenario.seed);
-        let tier = InteractiveTier::new(demand, scenario.num_servers);
+        let tier = match &scenario.workload {
+            WorkloadSource::UtilTrace(dm) => {
+                // Same stream position the pre-redesign engine used:
+                // the demand generator consumes the bare seed.
+                let demand = dm.generate(scenario.seed);
+                TierState::Util(InteractiveTier::new(demand, scenario.num_servers))
+            }
+            WorkloadSource::OpenLoop { arrivals, service } => {
+                TierState::OpenLoop(OpenLoopTier::new(
+                    arrivals,
+                    service,
+                    scenario.num_servers,
+                    scenario.interactive_cores_per_server,
+                    scenario.seed,
+                ))
+            }
+        };
         let feed = PowerFeed::new(
             CircuitBreaker::new(scenario.breaker),
             UpsBattery::full(scenario.ups),
@@ -142,7 +237,7 @@ impl RackSim {
         let n = rack.num_servers();
         // Invariants: the tier and job list were built from the same
         // scenario two lines up, so the sizes cannot disagree.
-        assert_eq!(tier.weights.len(), n, "tier must cover every server");
+        assert_eq!(tier.num_servers(), n, "tier must cover every server");
         assert_eq!(
             jobs.len(),
             rack.count_role(CoreRole::Batch),
@@ -174,6 +269,8 @@ impl RackSim {
             reference_stepping: false,
             scratch_inter_freqs: Vec::with_capacity(n),
             scratch_loads: Vec::with_capacity(n),
+            scratch_ol_loads: Vec::with_capacity(n),
+            last_queue: None,
         })
     }
 
@@ -390,6 +487,7 @@ impl RackSim {
             ups_soc: self.feed.ups.soc_fraction(),
             fan_power: self.last_fan,
             shutdown: self.shutdown,
+            queue: self.last_queue,
         };
         let command: PolicyCommand = policy.control(&view);
 
@@ -401,20 +499,39 @@ impl RackSim {
         // 3. Workloads execute, one role block at a time.
         self.rack
             .interactive_freqs_into(&mut self.scratch_inter_freqs);
-        self.tier.step_into(
-            self.now,
-            dt,
-            &self.scratch_inter_freqs,
-            &self.powered,
-            &mut self.scratch_loads,
-        );
         let ipc = self.rack.interactive_cores_per_server();
-        if ipc > 0 {
-            let iv = self.rack.role_mut(CoreRole::Interactive);
-            for (row, load) in iv.utils.chunks_exact_mut(ipc).zip(&self.scratch_loads) {
-                // Raw write: the tier already produced an in-range value,
-                // matching the pre-rework direct core-field store.
-                row.fill(load.util.0);
+        match &mut self.tier {
+            TierState::Util(tier) => {
+                tier.step_into(
+                    self.now,
+                    dt,
+                    &self.scratch_inter_freqs,
+                    &self.powered,
+                    &mut self.scratch_loads,
+                );
+                if ipc > 0 {
+                    let iv = self.rack.role_mut(CoreRole::Interactive);
+                    for (row, load) in iv.utils.chunks_exact_mut(ipc).zip(&self.scratch_loads) {
+                        // Raw write: the tier already produced an in-range value,
+                        // matching the pre-rework direct core-field store.
+                        row.fill(load.util.0);
+                    }
+                }
+            }
+            TierState::OpenLoop(tier) => {
+                tier.step_into(
+                    self.now,
+                    dt,
+                    &self.scratch_inter_freqs,
+                    &self.powered,
+                    &mut self.scratch_ol_loads,
+                );
+                if ipc > 0 {
+                    let iv = self.rack.role_mut(CoreRole::Interactive);
+                    for (row, load) in iv.utils.chunks_exact_mut(ipc).zip(&self.scratch_ol_loads) {
+                        row.fill(load.util.0);
+                    }
+                }
             }
         }
         let bpc = self.rack.batch_cores_per_server();
@@ -517,6 +634,15 @@ impl RackSim {
         self.now += dt;
         self.last_measured = p_measured;
         self.last_fan = fan_power;
+        // Queue depth / tail quantiles reach the policy with the same
+        // one-period staleness as the power measurement, and reach the
+        // recorder as plain sample data — deliberately telemetry-free
+        // so the closed-loop digest contract is untouched.
+        let queue = self.tier.queue();
+        self.last_queue = queue;
+        if let Some(tail) = self.tier.tail_summary() {
+            rec.set_tail(tail);
+        }
 
         rec.push(Sample {
             t: self.now,
@@ -536,6 +662,7 @@ impl RackSim {
             mean_freq_interactive: self.effective_mean_freq(CoreRole::Interactive),
             mean_freq_batch: self.effective_mean_freq(CoreRole::Batch),
             interactive_backlog: self.tier.mean_backlog(),
+            queue,
             mode_label: command.mode_label,
         });
     }

@@ -333,6 +333,18 @@ pub fn run_digest(out: &RunOutput) -> u64 {
         h.f64(s.mean_freq_interactive);
         h.f64(s.mean_freq_batch);
         h.f64(s.interactive_backlog);
+        // Open-loop queue observation: contributes bytes only when
+        // present, so closed-loop runs keep their pre-redesign digests
+        // bit-exactly (no None marker is hashed).
+        if let Some(q) = s.queue {
+            h.f64(q.depth);
+            h.f64(q.p50_s);
+            h.f64(q.p95_s);
+            h.f64(q.p99_s);
+            h.f64(q.arrived);
+            h.f64(q.completed);
+            h.f64(q.dropped);
+        }
         h.str(&s.mode_label.to_string());
     }
     for (t, e) in out.recorder.events() {
@@ -354,6 +366,17 @@ pub fn run_digest(out: &RunOutput) -> u64 {
     h.f64(s.normalized_time_use);
     h.f64(s.service_ratio);
     h.f64(s.cb_energy_wh);
+    // Same conditional-hash rule as Sample.queue above.
+    if let Some(t) = s.open_loop {
+        h.f64(t.p50_s);
+        h.f64(t.p95_s);
+        h.f64(t.p99_s);
+        h.f64(t.max_s);
+        h.f64(t.arrived);
+        h.f64(t.completed);
+        h.f64(t.dropped);
+        h.f64(t.drop_fraction);
+    }
     let m = &out.metrics;
     for (name, v) in &m.counters {
         h.str(name);

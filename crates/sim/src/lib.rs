@@ -39,7 +39,7 @@ pub mod recorder;
 pub mod scenario;
 
 pub use dc_engine::{run_datacenter, DatacenterSim, DcError, DcRunOutput, DcScenario, MarketRound};
-pub use engine::RackSim;
+pub use engine::{RackSim, TierState};
 pub use exec::{
     run_all_parallel, run_digest, sweep_parallel, Campaign, CampaignEntry, CampaignResult,
     DigestBuilder, ExecConfig,
@@ -51,9 +51,14 @@ pub use experiment::{
 pub use metrics::{summary_table, RunSummary};
 pub use mode::ModeLabel;
 pub use policy::{FreqCommand, Policy, PolicyCommand, SgctSimPolicy, SimView, SprintConPolicy};
-pub use qos::{qos_report, QosReport};
+pub use qos::{qos_report, QosReport, SloAttainment};
 pub use recorder::{Recorder, Sample, SimEvent};
 pub use scenario::{Disturbances, Scenario, ScenarioBuilder, ScenarioError};
+// Workload-source vocabulary, re-exported so scenario construction and
+// open-loop result types don't force a direct `workloads` dependency.
+pub use workloads::open_loop::{
+    ArrivalProcess, DemandModel, QueueObservation, ServiceModel, TailSummary, WorkloadSource,
+};
 // Re-export the sink vocabulary so downstream crates can drive
 // `run_policy_traced` without a direct `telemetry` dependency.
 pub use telemetry::{

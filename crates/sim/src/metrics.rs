@@ -3,6 +3,7 @@
 use crate::engine::RackSim;
 use crate::recorder::Recorder;
 use powersim::units::Seconds;
+use workloads::open_loop::TailSummary;
 
 /// Summary of one policy run (the row format of §VII).
 #[derive(Debug, Clone)]
@@ -35,6 +36,9 @@ pub struct RunSummary {
     pub service_ratio: f64,
     /// Energy through the breaker, Wh.
     pub cb_energy_wh: f64,
+    /// Request-latency tail summary (open-loop runs only; `None` on
+    /// the closed-loop path, where it contributes nothing to digests).
+    pub open_loop: Option<TailSummary>,
 }
 
 impl RunSummary {
@@ -73,6 +77,7 @@ impl RunSummary {
             normalized_time_use,
             service_ratio: sim.tier.service_ratio(),
             cb_energy_wh: rec.cb_energy_wh(),
+            open_loop: rec.tail(),
         }
     }
 

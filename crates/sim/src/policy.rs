@@ -6,6 +6,7 @@ use crate::mode::ModeLabel;
 use powersim::rack::Rack;
 use powersim::units::{NormFreq, Seconds, Utilization, Watts};
 use workloads::batch::BatchJob;
+use workloads::open_loop::QueueObservation;
 
 /// Everything a policy may observe at the start of a control period.
 pub struct SimView<'a> {
@@ -25,6 +26,9 @@ pub struct SimView<'a> {
     pub fan_power: Watts,
     /// The rack suffered a permanent brownout.
     pub shutdown: bool,
+    /// One-period-stale open-loop queue observation (depth, tick
+    /// latency quantiles, drop counts); `None` on the closed-loop path.
+    pub queue: Option<QueueObservation>,
 }
 
 impl<'a> SimView<'a> {
@@ -125,6 +129,15 @@ impl Policy for SprintConPolicy {
                 breaker_margin: view.breaker_margin,
                 breaker_closed: view.breaker_closed,
                 ups_soc: view.ups_soc,
+                queue: view.queue.map(|q| sprintcon::QueueMeasurement {
+                    depth: q.depth,
+                    p99_s: q.p99_s,
+                    drop_rate: if view.dt.0 > 0.0 {
+                        q.dropped / view.dt.0
+                    } else {
+                        0.0
+                    },
+                }),
             },
         );
         PolicyCommand {

@@ -5,6 +5,7 @@ use crate::mode::ModeLabel;
 use powersim::units::{Seconds, Watts};
 use std::io::Write;
 use std::path::Path;
+use workloads::open_loop::{QueueObservation, TailSummary};
 use workloads::trace::Trace;
 
 /// One control period's worth of observations.
@@ -38,6 +39,9 @@ pub struct Sample {
     pub mean_freq_batch: f64,
     /// Mean queued interactive backlog (peak-core-seconds per core).
     pub interactive_backlog: f64,
+    /// Open-loop queue observation for this tick; `None` on the
+    /// closed-loop path (and then contributes nothing to run digests).
+    pub queue: Option<QueueObservation>,
     pub mode_label: ModeLabel,
 }
 
@@ -61,6 +65,9 @@ pub enum SimEvent {
 pub struct Recorder {
     samples: Vec<Sample>,
     events: Vec<(Seconds, SimEvent)>,
+    /// Whole-run request-latency tail summary (open-loop runs only);
+    /// overwritten each tick with the cumulative sketch state.
+    tail: Option<TailSummary>,
 }
 
 impl Recorder {
@@ -68,7 +75,18 @@ impl Recorder {
         Recorder {
             samples: Vec::with_capacity(n),
             events: Vec::new(),
+            tail: None,
         }
+    }
+
+    /// Record the run-level request tail summary (open-loop runs).
+    pub fn set_tail(&mut self, tail: TailSummary) {
+        self.tail = Some(tail);
+    }
+
+    /// The run-level request tail summary, if this was an open-loop run.
+    pub fn tail(&self) -> Option<TailSummary> {
+        self.tail
     }
 
     pub fn push(&mut self, s: Sample) {
@@ -163,12 +181,13 @@ impl Recorder {
             out,
             "t_s,p_total_w,p_measured_w,p_server_w,p_fan_w,cb_power_w,ups_power_w,\
              shortfall_w,tripped,breaker_closed,breaker_margin,ups_soc,p_cb_target_w,\
-             p_batch_target_w,freq_interactive,freq_batch,backlog,mode"
+             p_batch_target_w,freq_interactive,freq_batch,backlog,queue_depth,queue_p99_s,\
+             queue_dropped,mode"
         )?;
         for s in &self.samples {
             writeln!(
                 out,
-                "{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{},{},{:.4},{:.4},{},{},{:.4},{:.4},{:.4},{}",
+                "{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{},{},{:.4},{:.4},{},{},{:.4},{:.4},{:.4},{},{},{},{}",
                 s.t.0,
                 s.p_total.0,
                 s.p_measured.0,
@@ -186,6 +205,9 @@ impl Recorder {
                 s.mean_freq_interactive,
                 s.mean_freq_batch,
                 s.interactive_backlog,
+                s.queue.map_or(String::new(), |q| format!("{:.3}", q.depth)),
+                s.queue.map_or(String::new(), |q| format!("{:.6}", q.p99_s)),
+                s.queue.map_or(String::new(), |q| format!("{:.3}", q.dropped)),
                 s.mode_label,
             )?;
         }
@@ -225,6 +247,7 @@ mod tests {
             mean_freq_interactive: 1.0,
             mean_freq_batch: 0.6,
             interactive_backlog: 0.0,
+            queue: None,
             mode_label: ModeLabel::Sprint,
         }
     }
@@ -282,7 +305,33 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 6); // header + 5 rows
         assert!(lines[0].starts_with("t_s,"));
-        assert_eq!(lines[1].split(',').count(), 18);
+        assert_eq!(lines[0].split(',').count(), 21);
+        assert_eq!(lines[1].split(',').count(), 21);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn queue_columns_fill_for_open_loop_samples() {
+        let mut r = Recorder::default();
+        let mut s = sample(0.0, 10.0, 3000.0);
+        s.queue = Some(QueueObservation {
+            depth: 12.5,
+            p50_s: 0.02,
+            p95_s: 0.05,
+            p99_s: 0.08,
+            arrived: 100.0,
+            completed: 90.0,
+            dropped: 2.0,
+        });
+        r.push(s);
+        let dir = std::env::temp_dir().join("sprintcon_test_csv_queue");
+        let path = dir.join("rec.csv");
+        r.write_csv(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let row: Vec<&str> = text.lines().nth(1).unwrap().split(',').collect();
+        assert_eq!(row[17], "12.500");
+        assert_eq!(row[18], "0.080000");
+        assert_eq!(row[19], "2.000");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -15,6 +15,7 @@ use powersim::server::ServerSpec;
 use powersim::units::Seconds;
 use powersim::ups::UpsSpec;
 use workloads::batch::BatchJob;
+use workloads::open_loop::{DemandModel, WorkloadError, WorkloadSource};
 use workloads::spec_profiles::paper_batch_mix;
 use workloads::wiki_trace::WikiTraceConfig;
 
@@ -52,6 +53,7 @@ impl Disturbances {
 
 /// Why a scenario failed validation.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum ScenarioError {
     /// `dt` must be positive and finite.
     NonPositiveDt(f64),
@@ -80,6 +82,14 @@ pub enum ScenarioError {
     InvalidMonitorNoise { rel: f64, abs: f64 },
     /// Multirate substepping needs at least one substep per period.
     InvalidSubstepCount(u32),
+    /// The workload source failed its own validation.
+    Workload(WorkloadError),
+}
+
+impl From<WorkloadError> for ScenarioError {
+    fn from(e: WorkloadError) -> Self {
+        ScenarioError::Workload(e)
+    }
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -118,6 +128,7 @@ impl std::fmt::Display for ScenarioError {
             ScenarioError::InvalidSubstepCount(k) => {
                 write!(f, "multirate substepping needs >= 1 substep, got {k}")
             }
+            ScenarioError::Workload(e) => write!(f, "workload source: {e}"),
         }
     }
 }
@@ -144,8 +155,10 @@ pub struct Scenario {
     /// sweep — only the deadline moves, as in §VII-D — so tight deadlines
     /// force high frequencies and loose ones allow throttling.
     pub job_scale: f64,
-    /// Interactive demand generator.
-    pub wiki: WikiTraceConfig,
+    /// What drives the interactive tier: the closed-loop utilization
+    /// trace ([`WorkloadSource::UtilTrace`], today's behavior) or the
+    /// open-loop request-queueing model ([`WorkloadSource::OpenLoop`]).
+    pub workload: WorkloadSource,
     /// Plant description.
     pub server: ServerSpec,
     pub num_servers: usize,
@@ -233,6 +246,7 @@ impl Scenario {
         if let Substepping::Multirate { substeps: 0 } = self.substepping {
             return Err(ScenarioError::InvalidSubstepCount(0));
         }
+        self.workload.validate()?;
         Ok(())
     }
 
@@ -298,7 +312,7 @@ impl ScenarioBuilder {
                 dt: Seconds(1.0),
                 deadline: Seconds::minutes(12.0),
                 job_scale: 0.9,
-                wiki: WikiTraceConfig::paper_default(),
+                workload: WorkloadSource::paper_default(),
                 server: ServerSpec::paper_default(),
                 num_servers: 16,
                 interactive_cores_per_server: 4,
@@ -338,9 +352,20 @@ impl ScenarioBuilder {
         self
     }
 
-    pub fn wiki(mut self, wiki: WikiTraceConfig) -> Self {
-        self.inner.wiki = wiki;
+    /// Set the workload source driving the interactive tier.
+    pub fn workload(mut self, workload: WorkloadSource) -> Self {
+        self.inner.workload = workload;
         self
+    }
+
+    /// One-release shim for the pre-redesign API; equivalent to
+    /// `workload(WorkloadSource::UtilTrace(DemandModel::Wiki(wiki)))`.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use `workload(WorkloadSource::UtilTrace(DemandModel::Wiki(..)))` instead"
+    )]
+    pub fn wiki(self, wiki: WikiTraceConfig) -> Self {
+        self.workload(WorkloadSource::UtilTrace(DemandModel::Wiki(wiki)))
     }
 
     pub fn server(mut self, server: ServerSpec) -> Self {
@@ -478,7 +503,7 @@ mod tests {
     fn determinism_same_seed_same_sim() {
         let a = Scenario::paper_default(9).build();
         let b = Scenario::paper_default(9).build();
-        assert_eq!(a.tier.demand, b.tier.demand);
+        assert_eq!(a.tier.demand(), b.tier.demand());
         assert_eq!(a.rack, b.rack);
     }
 

@@ -8,6 +8,8 @@
 //!   (diurnal envelope + burst + autocorrelated wobble + spikes).
 //! * [`interactive`] — the interactive tier: demand → utilization and
 //!   queueing given per-server frequencies.
+//! * [`open_loop`] — the typed [`open_loop::WorkloadSource`] API and the
+//!   open-loop request-queueing tier with streaming latency sketches.
 //! * [`mmpp`] — Markov-modulated demand (regime-switching flash crowds).
 //! * [`spec_profiles`] — SPEC-CPU2006-like counter signatures, plus the
 //!   six sprinting workloads of Fig. 1.
@@ -22,6 +24,7 @@
 pub mod batch;
 pub mod interactive;
 pub mod mmpp;
+pub mod open_loop;
 pub mod progress_model;
 pub mod spec_profiles;
 pub mod trace;
@@ -31,8 +34,12 @@ pub mod wiki_trace;
 pub use batch::{sized_for_deadline, BatchJob};
 pub use interactive::{InteractiveLoad, InteractiveTier};
 pub use mmpp::{DemandState, MmppConfig};
+pub use open_loop::{
+    ArrivalProcess, DemandModel, LatencySketch, OpenLoopLoad, OpenLoopTier, QueueObservation,
+    ServiceModel, TailSummary, WorkloadError, WorkloadSource,
+};
 pub use progress_model::ProgressModel;
 pub use spec_profiles::{cfp2006, cint2006, paper_batch_mix, sprint_six, BenchProfile};
 pub use trace::{SlidingWindow, Trace};
-pub use trace_io::{read_trace, read_trace_file, write_trace_file, TraceIoError};
+pub use trace_io::{read_trace, read_trace_file, write_trace_file, TraceIoError, TraceReader};
 pub use wiki_trace::WikiTraceConfig;

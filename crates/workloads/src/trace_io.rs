@@ -14,6 +14,7 @@ use std::path::Path;
 
 /// Errors from trace parsing.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum TraceIoError {
     Io(std::io::Error),
     /// Line number (1-based) and message.
@@ -46,6 +47,164 @@ impl From<std::io::Error> for TraceIoError {
     }
 }
 
+/// A streaming, chunked trace parser.
+///
+/// [`read_trace`] materializes the whole trace; for a full-day CSV
+/// feeding an open-loop arrival process that is unnecessary — the tier
+/// consumes one demand level per tick. `TraceReader` is an iterator of
+/// `Result<Vec<f64>, TraceIoError>` chunks (at most
+/// [`TraceReader::chunk_size`] values each) that applies exactly the
+/// same format rules as `read_trace`: 1- or 2-column layout lock,
+/// header/comment/blank skipping, grid-checked period inference (±1%).
+/// Layout and grid violations surface with the same line numbering as
+/// the batch parser. After an error the iterator is fused (yields
+/// `None` forever); values parsed before the failing line within the
+/// same chunk are discarded.
+///
+/// The inferred sampling period is available from [`TraceReader::dt`]
+/// once at least two 2-column rows have been consumed (before that, or
+/// for 1-column input, it reports the `default_dt`).
+pub struct TraceReader<R: BufRead> {
+    lines: std::iter::Enumerate<std::io::Lines<R>>,
+    default_dt: Seconds,
+    chunk: usize,
+    two_col: Option<bool>,
+    dt: Option<f64>,
+    prev_time: Option<f64>,
+    rows: usize,
+    done: bool,
+}
+
+impl<R: BufRead> TraceReader<R> {
+    pub fn new(reader: R, default_dt: Seconds) -> Self {
+        assert!(default_dt.0 > 0.0);
+        TraceReader {
+            lines: reader.lines().enumerate(),
+            default_dt,
+            chunk: 4096,
+            two_col: None,
+            dt: None,
+            prev_time: None,
+            rows: 0,
+            done: false,
+        }
+    }
+
+    /// Set the maximum number of values yielded per chunk.
+    pub fn chunk_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "chunk size must be positive");
+        self.chunk = n;
+        self
+    }
+
+    /// The sampling period: inferred from the timestamps consumed so
+    /// far, or the `default_dt` for 1-column input.
+    pub fn dt(&self) -> Seconds {
+        self.dt.map_or(self.default_dt, Seconds)
+    }
+
+    /// Data rows consumed so far (headers/comments/blanks excluded).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+}
+
+impl<R: BufRead> Iterator for TraceReader<R> {
+    type Item = Result<Vec<f64>, TraceIoError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let mut out = Vec::new();
+        while out.len() < self.chunk {
+            let Some((i, line)) = self.lines.next() else {
+                break;
+            };
+            let lineno = i + 1;
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e.into()));
+                }
+            };
+            let body = line.split('#').next().unwrap_or("").trim();
+            if body.is_empty() {
+                continue;
+            }
+            let cols: Vec<&str> = body.split(',').map(str::trim).collect();
+            let parsed: Result<Vec<f64>, _> = cols.iter().map(|c| c.parse::<f64>()).collect();
+            let nums = match parsed {
+                Ok(n) => n,
+                Err(e) => {
+                    if self.rows == 0 {
+                        continue; // header line
+                    }
+                    self.done = true;
+                    return Some(Err(TraceIoError::Parse(lineno, format!("{e}: {body:?}"))));
+                }
+            };
+            let value = match (self.two_col, nums.len()) {
+                (None, 1) => {
+                    self.two_col = Some(false);
+                    nums[0]
+                }
+                (None, 2) => {
+                    self.two_col = Some(true);
+                    self.prev_time = Some(nums[0]);
+                    nums[1]
+                }
+                (Some(false), 1) => nums[0],
+                (Some(true), 2) => {
+                    let t = nums[0];
+                    let prev = self.prev_time.expect("two-column rows record a time");
+                    let step = t - prev;
+                    match self.dt {
+                        None => {
+                            if step <= 0.0 {
+                                self.done = true;
+                                return Some(Err(TraceIoError::Parse(
+                                    2,
+                                    "non-increasing timestamps".into(),
+                                )));
+                            }
+                            self.dt = Some(step);
+                        }
+                        Some(dt) => {
+                            if (step - dt).abs() > dt * 0.01 {
+                                self.done = true;
+                                // Same numbering as the batch parser:
+                                // the offending *data row*, 1-based.
+                                return Some(Err(TraceIoError::IrregularSampling {
+                                    line: self.rows + 1,
+                                }));
+                            }
+                        }
+                    }
+                    self.prev_time = Some(t);
+                    nums[1]
+                }
+                (_, n) => {
+                    self.done = true;
+                    return Some(Err(TraceIoError::Parse(
+                        lineno,
+                        format!("expected a consistent 1- or 2-column layout, got {n} columns"),
+                    )));
+                }
+            };
+            self.rows += 1;
+            out.push(value);
+        }
+        if out.is_empty() {
+            self.done = true;
+            None
+        } else {
+            Some(Ok(out))
+        }
+    }
+}
+
 /// Parse a trace from a reader.
 ///
 /// * one column → values sampled at `default_dt`;
@@ -54,72 +213,18 @@ impl From<std::io::Error> for TraceIoError {
 ///   (±1% of the period).
 ///
 /// A non-numeric first line is treated as a header and skipped. Blank
-/// lines and `#` comments are ignored.
+/// lines and `#` comments are ignored. This is the materializing
+/// wrapper over [`TraceReader`].
 pub fn read_trace<R: BufRead>(reader: R, default_dt: Seconds) -> Result<Trace, TraceIoError> {
-    assert!(default_dt.0 > 0.0);
+    let mut r = TraceReader::new(reader, default_dt);
     let mut values = Vec::new();
-    let mut times: Vec<f64> = Vec::new();
-    let mut two_col = None;
-    for (i, line) in reader.lines().enumerate() {
-        let lineno = i + 1;
-        let line = line?;
-        let body = line.split('#').next().unwrap_or("").trim();
-        if body.is_empty() {
-            continue;
-        }
-        let cols: Vec<&str> = body.split(',').map(str::trim).collect();
-        let parsed: Result<Vec<f64>, _> = cols.iter().map(|c| c.parse::<f64>()).collect();
-        let nums = match parsed {
-            Ok(n) => n,
-            Err(e) => {
-                if values.is_empty() && times.is_empty() {
-                    continue; // header line
-                }
-                return Err(TraceIoError::Parse(lineno, format!("{e}: {body:?}")));
-            }
-        };
-        match (two_col, nums.len()) {
-            (None, 1) => {
-                two_col = Some(false);
-                values.push(nums[0]);
-            }
-            (None, 2) => {
-                two_col = Some(true);
-                times.push(nums[0]);
-                values.push(nums[1]);
-            }
-            (Some(false), 1) => values.push(nums[0]),
-            (Some(true), 2) => {
-                times.push(nums[0]);
-                values.push(nums[1]);
-            }
-            (_, n) => {
-                return Err(TraceIoError::Parse(
-                    lineno,
-                    format!("expected a consistent 1- or 2-column layout, got {n} columns"),
-                ))
-            }
-        }
+    for chunk in &mut r {
+        values.extend(chunk?);
     }
     if values.is_empty() {
         return Err(TraceIoError::Empty);
     }
-    let dt = if two_col == Some(true) && times.len() >= 2 {
-        let dt = times[1] - times[0];
-        if dt <= 0.0 {
-            return Err(TraceIoError::Parse(2, "non-increasing timestamps".into()));
-        }
-        for (k, w) in times.windows(2).enumerate() {
-            let step = w[1] - w[0];
-            if (step - dt).abs() > dt * 0.01 {
-                return Err(TraceIoError::IrregularSampling { line: k + 2 });
-            }
-        }
-        Seconds(dt)
-    } else {
-        default_dt
-    };
-    Ok(Trace::new(dt, values))
+    Ok(Trace::new(r.dt(), values))
 }
 
 /// Read a trace from a file path.
@@ -199,6 +304,50 @@ mod tests {
             read_trace(Cursor::new("# nothing\n"), dt1()),
             Err(TraceIoError::Empty)
         ));
+    }
+
+    #[test]
+    fn streaming_reader_chunks_and_matches_batch() {
+        let src: String = (0..100)
+            .map(|k| format!("{k},{}\n", k as f64 * 0.01))
+            .collect();
+        let batch = read_trace(Cursor::new(src.clone()), dt1()).unwrap();
+        let mut r = TraceReader::new(Cursor::new(src), dt1()).chunk_size(7);
+        let mut streamed = Vec::new();
+        let mut chunks = 0;
+        for chunk in &mut r {
+            let chunk = chunk.unwrap();
+            assert!(chunk.len() <= 7);
+            streamed.extend(chunk);
+            chunks += 1;
+        }
+        assert_eq!(chunks, 15); // ceil(100 / 7)
+        assert_eq!(streamed, batch.values);
+        assert_eq!(r.dt(), batch.dt);
+        assert_eq!(r.rows(), 100);
+    }
+
+    #[test]
+    fn streaming_reader_is_fused_after_an_error() {
+        let mut r = TraceReader::new(Cursor::new("0,1\n1,2\n3,3\n4,4\n"), dt1()).chunk_size(1);
+        assert_eq!(r.next().unwrap().unwrap(), vec![1.0]);
+        assert_eq!(r.next().unwrap().unwrap(), vec![2.0]);
+        assert!(matches!(
+            r.next().unwrap().unwrap_err(),
+            TraceIoError::IrregularSampling { line: 3 }
+        ));
+        assert!(r.next().is_none());
+        assert!(r.next().is_none());
+    }
+
+    #[test]
+    fn streaming_reader_dt_defaults_until_inferred() {
+        let mut r = TraceReader::new(Cursor::new("0,0.5\n2,0.6\n"), Seconds(9.0)).chunk_size(1);
+        assert_eq!(r.dt(), Seconds(9.0));
+        r.next().unwrap().unwrap();
+        assert_eq!(r.dt(), Seconds(9.0)); // one row: period not yet known
+        r.next().unwrap().unwrap();
+        assert_eq!(r.dt(), Seconds(2.0));
     }
 
     #[test]

@@ -16,7 +16,7 @@ fn sprintcon_survives_regime_switching_demand() {
     // Swap in the spiky trace via a custom wiki config is not possible —
     // inject directly through the built sim's tier.
     let mut sim = scenario.build();
-    sim.tier.demand = spiky;
+    *sim.tier.demand_mut() = spiky;
     scenario.duration = Seconds::minutes(15.0);
     let mut policy = SprintConPolicy::paper_default();
     let rec = sim.run(&mut policy, scenario.duration);
@@ -99,7 +99,7 @@ fn flat_demand_spends_almost_no_stored_energy() {
     let mut scenario = Scenario::paper_default(2019);
     scenario.duration = Seconds::minutes(6.0);
     let mut sim = scenario.build();
-    sim.tier.demand = Trace::constant(Seconds(1.0), 0.35, 900);
+    *sim.tier.demand_mut() = Trace::constant(Seconds(1.0), 0.35, 900);
     let mut policy = SprintConPolicy::paper_default();
     let rec = sim.run(&mut policy, scenario.duration);
     let s = RunSummary::from_run("SprintCon/flat", &sim, &rec);
