@@ -1,4 +1,4 @@
-//! The sprinting game's Cooperative Threshold assignment [2].
+//! The sprinting game's Cooperative Threshold assignment \[2\].
 //!
 //! Each epoch, cores "bid" for sprint power; the cooperative solution
 //! maximizes system performance by sprinting the cores with the highest

@@ -1,6 +1,6 @@
 //! # baselines — the state-of-the-art sprinting baselines of §VI-B
 //!
-//! SprintCon is evaluated against the sprinting game of Fan et al. [2]
+//! SprintCon is evaluated against the sprinting game of Fan et al. \[2\]
 //! run with its Cooperative Threshold solution (SGCT) and two idealized
 //! variants the paper constructs for a fair power-safety comparison:
 //!

@@ -1,7 +1,7 @@
 //! The SGCT baseline family (§VI-B).
 //!
 //! All three variants run the sprinting game with the Cooperative
-//! Threshold solution of [2] on the same overload schedule (150 s
+//! Threshold solution of \[2\] on the same overload schedule (150 s
 //! overload / 300 s recovery, shared with SprintCon). They differ in
 //! model knowledge and ranking:
 //!
@@ -11,7 +11,7 @@
 //! | SGCT-V1 | ideal plant oracle    | utilization        | never     |
 //! | SGCT-V2 | ideal plant oracle    | interactive first  | never     |
 //!
-//! Power routing follows [2]: sprint power comes from overloading the CB
+//! Power routing follows \[2\]: sprint power comes from overloading the CB
 //! while the schedule allows, and from the UPS *in turn* during CB
 //! recovery — the total sprint budget stays constant (the nearly-flat
 //! total power of Fig. 6(b)(c)).
@@ -40,7 +40,7 @@ pub struct SgctConfig {
     pub rated: Watts,
     /// Overload degree (sprint budget = rated × degree).
     pub overload_degree: f64,
-    /// Overload / recovery phase lengths (same as [2] / SprintCon).
+    /// Overload / recovery phase lengths (same as \[2\] / SprintCon).
     pub overload_duration: Seconds,
     pub recovery_duration: Seconds,
     /// Frequency of non-sprinting cores.
@@ -50,7 +50,7 @@ pub struct SgctConfig {
     pub estimator: CalibratedRackEstimator,
     /// Safety factor the *ideal* variants apply to the sprint budget so
     /// the breaker operates just inside the Fig. 2 curve rather than
-    /// exactly on it (the [2] operating point is specified as safe).
+    /// exactly on it (the \[2\] operating point is specified as safe).
     pub ideal_safety: f64,
     /// During recovery the ideal variants route the UPS so the breaker
     /// carries `rated × this margin`: without it, measurement noise keeps

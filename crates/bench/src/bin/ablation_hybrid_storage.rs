@@ -1,5 +1,5 @@
 //! A4 — ablation: plain battery vs the hybrid battery + supercapacitor
-//! of [24] behind SprintCon's UPS discharge commands.
+//! of \[24\] behind SprintCon's UPS discharge commands.
 //!
 //! SprintCon's UPS power controller emits a fluctuating discharge demand
 //! (it covers exactly the gap between the wandering total power and the

@@ -1,7 +1,7 @@
 //! A5 — ablation: raw deadbeat UPS control (the paper's law) vs
 //! Kalman-filtered measurements in front of it.
 //!
-//! The duty-cycled discharge circuit of [24] switches on every command
+//! The duty-cycled discharge circuit of \[24\] switches on every command
 //! change; noisy measurements therefore translate into actuator wear and
 //! duty chatter. A Kalman filter suppresses the chatter at the cost of
 //! one-filter-lag exposure of the breaker to fast power rises. This

@@ -1,5 +1,5 @@
 //! E1 — Fig. 1: per-watt speedup vs processor frequency for the six
-//! sprinting workloads of [4].
+//! sprinting workloads of \[4\].
 //!
 //! Paper claim: "the per-watt speedup decreases with the increase of
 //! processor frequency in general", for two reasons — non-CPU bottlenecks

@@ -1,7 +1,7 @@
 //! E2 — Fig. 2: the circuit-breaker trip-time curve (Bulletin 1489-A
 //! shape): trip time as a nonlinear decreasing function of overload.
 //!
-//! Calibrated operating point from [2]/§VI-A: a 1.25 overload trips after
+//! Calibrated operating point from \[2\]/§VI-A: a 1.25 overload trips after
 //! 150 s; recovery from near-trip takes at most 300 s.
 
 use powersim::breaker::BreakerSpec;

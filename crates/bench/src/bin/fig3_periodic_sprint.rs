@@ -1,7 +1,7 @@
 //! E3 — Fig. 3: an example of periodic computational sprinting with a
-//! period of about 18 seconds ([4]'s testbed behavior).
+//! period of about 18 seconds (\[4\]'s testbed behavior).
 //!
-//! The duty cycle is *derived from the thermal physics*: the [4]-class
+//! The duty cycle is *derived from the thermal physics*: the \[4\]-class
 //! chip model (lumped RC, ~12 W sustainable, 50 W sprints) sprints until
 //! its die hits the throttle limit and rests until it cools through a
 //! 20 °C restart band — which lands on the paper's ~18-second period.

@@ -15,7 +15,8 @@
 //!   progress weights.
 //! * [`pid`] — classical PID with anti-windup, for the MPC-vs-PID
 //!   ablation.
-//! * [`reference`] — exponential references and settling-time estimates
+//! * [`reference`](mod@reference) — exponential references and
+//!   settling-time estimates
 //!   (the §V-C allocator/controller timing contract).
 //! * [`stability`] — closed-loop pole analysis under model error (§V-C).
 //! * [`estimator`] — recursive least squares for online gain adaptation.

@@ -35,6 +35,12 @@ impl ScheduleKind {
     }
 }
 
+/// Default breaker-margin bar for re-entering an overload phase: the
+/// breaker must have cooled to under this fraction of its trip budget.
+/// The supervisor lowers the bar (divides by the grid price multiplier)
+/// while energy is expensive, so sprints wait for a cooler breaker.
+pub const SPRINT_ENTRY_MARGIN: f64 = 0.05;
+
 /// Phase of the periodic schedule.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum CbPhase {
@@ -53,6 +59,8 @@ pub struct CbScheduler {
     t_burst: Seconds,
     elapsed: Seconds,
     phase: CbPhase,
+    /// Breaker-margin bar for starting a new overload phase.
+    entry_margin: f64,
 }
 
 impl CbScheduler {
@@ -69,7 +77,15 @@ impl CbScheduler {
             phase: CbPhase::Overload {
                 remaining: cfg.overload_duration,
             },
+            entry_margin: SPRINT_ENTRY_MARGIN,
         }
+    }
+
+    /// Set the breaker-margin bar for re-entering overload (the
+    /// supervisor's price-spike hook). Writing the default back is a
+    /// same-value store — bit-transparent at the nominal price.
+    pub fn set_entry_margin(&mut self, margin: f64) {
+        self.entry_margin = margin;
     }
 
     /// Whether the schedule is currently in the overload state.
@@ -121,7 +137,7 @@ impl CbScheduler {
             }
             CbPhase::Recover { remaining } => {
                 let left = Seconds(remaining.0 - dt.0);
-                if left.0 <= 0.0 && breaker_margin < 0.05 {
+                if left.0 <= 0.0 && breaker_margin < self.entry_margin {
                     self.phase = CbPhase::Overload { remaining: self.on };
                 } else {
                     // Hold in recovery until both the timer and the
@@ -489,6 +505,12 @@ impl PowerLoadAllocator {
         self.p_batch = self.evaluate_p_batch();
     }
 
+    /// Forward the sprint-entry bar to the CB scheduler (the
+    /// supervisor's price-spike hook).
+    pub fn set_sprint_entry_margin(&mut self, margin: f64) {
+        self.scheduler.set_entry_margin(margin);
+    }
+
     pub fn p_batch_bounds(&self) -> (Watts, Watts) {
         (self.p_batch_min, self.p_batch_max)
     }
@@ -572,6 +594,26 @@ mod tests {
         }
         // Once cold, the next overload begins.
         s.advance(Seconds(1.0), 0.01);
+        assert_eq!(s.p_cb(), Some(Watts(4000.0)));
+    }
+
+    #[test]
+    fn raised_entry_bar_defers_the_next_overload() {
+        let c = cfg();
+        let mut s = CbScheduler::new(&c);
+        for _ in 0..150 {
+            s.advance(Seconds(1.0), 0.0);
+        }
+        // A 4× price spike lowers the bar to 0.0125: a margin of 0.03 —
+        // good enough at the nominal price — no longer re-enters.
+        s.set_entry_margin(SPRINT_ENTRY_MARGIN / 4.0);
+        for _ in 0..400 {
+            s.advance(Seconds(1.0), 0.03);
+            assert_eq!(s.p_cb(), Some(Watts(3200.0)));
+        }
+        // Price back to nominal: 0.03 clears the default 0.05 bar.
+        s.set_entry_margin(SPRINT_ENTRY_MARGIN);
+        s.advance(Seconds(1.0), 0.03);
         assert_eq!(s.p_cb(), Some(Watts(4000.0)));
     }
 

@@ -1,6 +1,6 @@
 //! Power bidding (§IV-C): when the energy storage is running out,
 //! `P_cb` becomes the power target for *all* workloads and "different
-//! workloads can bid for power as in [2]".
+//! workloads can bid for power as in \[2\]".
 //!
 //! This module implements that allocation primitive: each core submits a
 //! bid (demand × priority); the budget is spent greedily down the bid

@@ -4,7 +4,7 @@
 //! for multi-threaded applications SprintCon can "determine the total
 //! frequency quota of a group of cores running the same application, and
 //! then divide the frequency quota to the cores in the group" using
-//! chip-level allocation strategies [25]–[28]. This module is that
+//! chip-level allocation strategies \[25\]–\[28\]. This module is that
 //! division step: given a group quota (the sum of normalized frequencies
 //! the MPC granted the group) and per-core weights, produce per-core
 //! frequencies inside the DVFS box.
@@ -15,11 +15,11 @@ pub enum QuotaPolicy {
     /// Every core gets the same frequency.
     Uniform,
     /// Bounded water-filling proportional to the weights (e.g. per-thread
-    /// criticality from [26]): heavier cores get more, clamped into the
+    /// criticality from \[26\]): heavier cores get more, clamped into the
     /// DVFS box, residual redistributed until exhausted.
     ByWeight,
     /// The single most critical core is raised to the box maximum first
-    /// (bottleneck-first, the [6]/PowerChief intuition), the rest split
+    /// (bottleneck-first, the \[6\]/PowerChief intuition), the rest split
     /// the remainder by weight.
     CriticalFirst,
 }

@@ -24,7 +24,7 @@
 //! ## Quick start
 //!
 //! ```
-//! use sprintcon::{SprintCon, SprintConConfig, SprintConInputs};
+//! use sprintcon::{ActiveGrid, SprintCon, SprintConConfig, SprintConInputs};
 //! use powersim::units::{Seconds, Utilization, Watts};
 //! use workloads::{BatchJob, ProgressModel};
 //!
@@ -45,6 +45,7 @@
 //!     breaker_closed: true,
 //!     ups_soc: 1.0,
 //!     queue: None,
+//!     grid: ActiveGrid::default(),
 //! });
 //! assert_eq!(out.batch_freqs.len(), n);
 //! ```
@@ -67,6 +68,7 @@ pub use bidding::{
 };
 pub use chip_quota::{divide_quota, QuotaPolicy};
 pub use config::{ConfigError, SprintConConfig};
+pub use powersim::grid::ActiveGrid;
 pub use server_controller::ServerPowerController;
 pub use sprint_control::mpc::MpcBackend;
 pub use supervisor::{QueueMeasurement, SprintCon, SprintConInputs, SprintConOutputs, SprintMode};

@@ -8,16 +8,34 @@
 //!   the excess load while the breaker recovers;
 //! * energy storage running out → `P_cb` becomes the power target for
 //!   *all* workloads (interactive cores get throttled too, a simple
-//!   power-bidding fallback in the spirit of [2]);
+//!   power-bidding fallback in the spirit of \[2\]);
 //! * both → sprinting ends; the rack is driven back under the rated
 //!   breaker capacity with no UPS support.
 
-use crate::allocator::PowerLoadAllocator;
+use crate::allocator::{PowerLoadAllocator, SPRINT_ENTRY_MARGIN};
 use crate::config::{ConfigError, SprintConConfig};
 use crate::server_controller::ServerPowerController;
 use crate::ups_controller::UpsPowerController;
+use powersim::grid::ActiveGrid;
 use powersim::units::{NormFreq, Seconds, Utilization, Watts};
 use workloads::batch::BatchJob;
+
+/// UPS deadbeat undershoot on the curtailment cap while in
+/// [`SprintMode::GridCurtail`]: compliance is judged on grid-side draw,
+/// so the supervisor holds the breaker a few σ of monitor noise below
+/// the cap rather than exactly on it.
+const GRID_CB_MARGIN: f64 = 0.97;
+
+/// Watts of the curtailment budget reserved against fan draw and model
+/// error when triaging batch frequencies under a curtailment cap.
+const GRID_TRIAGE_GUARD_W: f64 = 100.0;
+
+/// Request-p99 bar above which the interactive tier is considered hot
+/// during a curtailment: the queue is already stretching sojourn times,
+/// so the cut must come from batch triage, not interactive throttling.
+/// Held at half the tightest (100 ms) latency SLO so throttling backs
+/// off well before the tail budget is spent.
+const GRID_QUEUE_P99_GUARD_S: f64 = 0.05;
 
 /// Supervisor operating mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +51,10 @@ pub enum SprintMode {
     /// Both protections exhausted: sprint over, rack held under the
     /// rated capacity.
     Ended,
+    /// An active grid curtailment: forced un-sprint with the rack driven
+    /// under the curtailed cap (deadline-aware batch triage, interactive
+    /// protected while the request queue is hot).
+    GridCurtail,
 }
 
 impl SprintMode {
@@ -44,6 +66,7 @@ impl SprintMode {
             SprintMode::CbProtect => "cb-protect",
             SprintMode::UpsConserve => "ups-conserve",
             SprintMode::Ended => "ended",
+            SprintMode::GridCurtail => "grid-curtail",
         }
     }
 }
@@ -88,6 +111,9 @@ pub struct SprintConInputs<'a> {
     /// One-period-stale open-loop queue measurement; `None` on the
     /// closed-loop utilization-trace path.
     pub queue: Option<QueueMeasurement>,
+    /// Grid signals active this period ([`ActiveGrid::default`] — no
+    /// curtailment, multiplier 1, no regulation — is bit-transparent).
+    pub grid: ActiveGrid,
 }
 
 /// Commands returned to the plant each control period.
@@ -135,6 +161,9 @@ pub struct SprintCon {
     /// Most recent open-loop queue measurement (store-only, like the
     /// market methods: telemetry-free so digests are untouched).
     last_queue: Option<QueueMeasurement>,
+    /// Grid signals observed at the top of the current period; the
+    /// default (no signals) leaves every code path bit-identical.
+    active_grid: ActiveGrid,
 }
 
 impl SprintCon {
@@ -158,6 +187,7 @@ impl SprintCon {
             sensor_degraded: false,
             feeder_cap: None,
             last_queue: None,
+            active_grid: ActiveGrid::default(),
         })
     }
 
@@ -239,12 +269,87 @@ impl SprintCon {
         self.feeder_cap
     }
 
-    /// Apply the market ceiling to a breaker-power target.
+    /// Apply the grid nudge, the market ceiling and any curtailment cap
+    /// to a breaker-power target. With no regulation delta, no feeder
+    /// cap and no curtailment this is the exact identity — the grid
+    /// layer is bit-transparent when no signal is active.
     fn cap_p_cb(&self, p_cb: Watts) -> Watts {
-        match self.feeder_cap {
-            Some(cap) => Watts(p_cb.0.min(cap.0)),
+        // Frequency-regulation dispatches nudge the effective budget
+        // symmetrically before any ceiling is applied.
+        let shifted = match self.active_grid.reg_delta {
+            Some(d) => Watts((p_cb.0 + d.0).max(0.0)),
             None => p_cb,
+        };
+        let capped = match self.feeder_cap {
+            Some(cap) => Watts(shifted.0.min(cap.0)),
+            None => shifted,
+        };
+        match self.active_grid.curtail_cap {
+            Some(cap) => Watts(capped.0.min(cap.0)),
+            None => capped,
         }
+    }
+
+    /// Deadline-aware batch triage under a curtailment cap: start every
+    /// batch core at the DVFS floor, then grant frequency in ascending
+    /// job-deadline order while the marginal model watts still fit what
+    /// the cap leaves after the interactive estimate and a guard band.
+    /// Nearest-deadline batches are drained first; relaxed jobs ride out
+    /// the curtailment at the floor. Returns the per-core commands and
+    /// the model watts the plan spends.
+    fn triage_batch(
+        &self,
+        cap: Watts,
+        p_inter: Watts,
+        inputs: &SprintConInputs<'_>,
+    ) -> (Vec<f64>, Watts) {
+        let fmin = self.cfg.server.freq_scale.min;
+        let fmax = self.cfg.server.freq_scale.max.0;
+        let bpc = self.cfg.batch_cores_per_server() as f64;
+        let models = self.server_ctrl.batch_models();
+        let n = self.server_ctrl.num_channels();
+        let mut freqs = vec![fmin.0; n];
+        let p_floor: f64 = models.iter().map(|m| m.predict(fmin).0).sum();
+        let mut left = (cap.0 - p_inter.0 - GRID_TRIAGE_GUARD_W - p_floor).max(0.0);
+        let mut spent = p_floor;
+        // Nearest deadline first; the core index breaks ties so the plan
+        // is deterministic.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            inputs.jobs[a]
+                .deadline
+                .0
+                .total_cmp(&inputs.jobs[b].deadline.0)
+                .then(a.cmp(&b))
+        });
+        for i in order {
+            if left <= 0.0 {
+                break;
+            }
+            let job = &inputs.jobs[i];
+            let f_want = match job.required_rate(self.now) {
+                Some(r) if r <= 0.0 => fmin.0,
+                None => fmax,
+                Some(r) => job.model.freq_for_rate(r.min(1.0)).unwrap_or(fmax),
+            }
+            .clamp(fmin.0, fmax);
+            if f_want <= fmin.0 {
+                continue;
+            }
+            let k = models[i / self.cfg.batch_cores_per_server()].k;
+            if k <= 0.0 {
+                freqs[i] = f_want;
+                continue;
+            }
+            // Raising one core by Δf raises its server's mean batch
+            // frequency by Δf / cores, hence model watts by k·Δf / cores.
+            let marginal = k * (f_want - fmin.0) / bpc;
+            let granted = marginal.min(left);
+            freqs[i] = (fmin.0 + granted * bpc / k).min(f_want);
+            left -= granted;
+            spent += granted;
+        }
+        (freqs, Watts(spent))
     }
 
     /// Degradation-ladder rungs 1–2: classify the raw measurement and
@@ -323,9 +428,15 @@ impl SprintCon {
         };
         let cb_stressed = !inputs.breaker_closed || inputs.breaker_margin >= stop;
         let ups_low = inputs.ups_soc <= self.cfg.soc_reserve;
+        let curtailing = inputs.grid.curtail_cap.is_some();
         self.mode = match (self.mode, cb_stressed, ups_low) {
             (SprintMode::Ended, _, _) => SprintMode::Ended,
             (_, true, true) => SprintMode::Ended,
+            // A live curtailment outranks the ordinary protections: the
+            // rack is driven under the curtailed cap, which also rests
+            // the breaker and spares the UPS. The two escalations above
+            // stay terminal.
+            _ if curtailing => SprintMode::GridCurtail,
             (_, true, false) => SprintMode::CbProtect,
             (_, false, true) => SprintMode::UpsConserve,
             (SprintMode::CbProtect, false, false) => SprintMode::Sprinting,
@@ -352,6 +463,15 @@ impl SprintCon {
         assert_eq!(inputs.jobs.len(), self.server_ctrl.num_channels());
         self.now += dt;
         self.last_queue = inputs.queue;
+        self.active_grid = inputs.grid;
+
+        // Price spikes raise the sprint-entry bar: the breaker must be
+        // proportionally cooler before the schedule re-enters overload,
+        // so sprinting on expensive energy needs a stronger case. At the
+        // nominal multiplier (1.0) this writes the default bar back —
+        // bit-identical to the pre-grid supervisor.
+        self.allocator
+            .set_sprint_entry_margin(SPRINT_ENTRY_MARGIN / inputs.grid.price_multiplier.max(1.0));
 
         // Sanitize the power measurement first: everything downstream —
         // allocator bias, MPC feedback, UPS deadbeat law — consumes the
@@ -401,9 +521,16 @@ impl SprintCon {
                 );
             }
             self.ups_ctrl.reset();
-            if matches!(self.mode, SprintMode::CbProtect | SprintMode::Ended) {
-                // §IV-C: stop overloading a stressed breaker.
+            if matches!(
+                self.mode,
+                SprintMode::CbProtect | SprintMode::Ended | SprintMode::GridCurtail
+            ) {
+                // §IV-C: stop overloading a stressed breaker; a grid
+                // curtailment is a forced un-sprint for the same reason.
                 self.allocator.force_recovery();
+            }
+            if self.mode == SprintMode::GridCurtail && telemetry::enabled() {
+                telemetry::counter_add("grid.forced_unsprint", 1);
             }
         }
 
@@ -441,6 +568,47 @@ impl SprintCon {
                     ups_discharge: ups,
                     p_cb_target: p_cb,
                     p_batch_target: p_batch,
+                    mode: self.mode,
+                }
+            }
+            SprintMode::GridCurtail => {
+                // Compliance target: the tightest active curtailment cap
+                // (min-chained with the market ceiling and any regulation
+                // nudge), never above the rated capacity — a curtailment
+                // is a forced un-sprint.
+                let cap = self.cap_p_cb(self.cfg.rated());
+                // Deadline-aware batch triage: nearest-deadline jobs keep
+                // running fast inside what the cap leaves over, everyone
+                // else drops toward the DVFS floor.
+                let (batch_freqs, p_batch_spent) = self.triage_batch(cap, p_inter, &inputs);
+                // Interactive: while the request queue is hot (PR 7
+                // measurement), the p99 protection outranks the energy
+                // cut — interactive stays at peak and the UPS bridges the
+                // gap, which is legitimate demand response. Once the
+                // queue drains, throttle proportionally into the cap.
+                let queue_hot = inputs
+                    .queue
+                    .is_some_and(|q| q.p99_s > GRID_QUEUE_P99_GUARD_S);
+                if queue_hot {
+                    self.inter_freq = NormFreq::PEAK;
+                } else {
+                    let fmin = self.cfg.server.freq_scale.min;
+                    let p_inter_est = p_inter.0.max(1.0);
+                    let excess = p_use.0 - cap.0;
+                    let scale = 1.0 - excess / p_inter_est;
+                    let f_new = (self.inter_freq.0 * scale.clamp(0.5, 1.05)).clamp(fmin.0, 1.0);
+                    self.inter_freq = NormFreq(f_new);
+                }
+                // Deadbeat the breaker a few σ of monitor noise under the
+                // cap; the UPS absorbs the descent transient and any
+                // queue-protection residual until the throttles bite.
+                let ups = self.ups_ctrl.control(p_use, cap * GRID_CB_MARGIN);
+                SprintConOutputs {
+                    batch_freqs,
+                    interactive_freq: self.inter_freq,
+                    ups_discharge: ups,
+                    p_cb_target: Some(cap),
+                    p_batch_target: p_batch_spent,
                     mode: self.mode,
                 }
             }
@@ -517,6 +685,7 @@ mod tests {
                 breaker_closed: closed,
                 ups_soc: soc,
                 queue: None,
+                grid: ActiveGrid::default(),
             },
         )
     }
@@ -693,6 +862,7 @@ mod tests {
                 breaker_closed: closed,
                 ups_soc: soc,
                 queue: None,
+                grid: ActiveGrid::default(),
             },
         )
     }
@@ -774,5 +944,196 @@ mod tests {
         // A changing reading clears the run immediately.
         let out = step_with_p(&mut sc, Watts(4205.0), 0.01, true, 1.0);
         assert_eq!(out.mode, SprintMode::Sprinting);
+    }
+
+    // --- grid-responsive mode (curtailment / price / regulation) ---
+
+    /// Like `step_once`, but with explicit grid signals and queue state.
+    fn step_grid(
+        sc: &mut SprintCon,
+        grid: ActiveGrid,
+        queue: Option<QueueMeasurement>,
+    ) -> SprintConOutputs {
+        let n = sc.server_controller().num_channels();
+        let utils = vec![Utilization(0.6); sc.cfg.num_servers];
+        let freqs = vec![0.6; n];
+        let js = jobs(n);
+        sc.step(
+            Seconds(1.0),
+            SprintConInputs {
+                p_total: Watts(4200.0),
+                interactive_util: &utils,
+                batch_freqs: &freqs,
+                jobs: &js,
+                breaker_margin: 0.1,
+                breaker_closed: true,
+                ups_soc: 1.0,
+                queue,
+                grid,
+            },
+        )
+    }
+
+    fn curtail(cap: f64) -> ActiveGrid {
+        ActiveGrid {
+            curtail_cap: Some(Watts(cap)),
+            curtail_deadline: Some(Seconds(30.0)),
+            ..ActiveGrid::default()
+        }
+    }
+
+    #[test]
+    fn curtailment_forces_grid_curtail_and_caps_the_target() {
+        let mut sc = SprintCon::new(cfg());
+        let out = step_grid(&mut sc, curtail(3000.0), None);
+        assert_eq!(out.mode, SprintMode::GridCurtail);
+        assert_eq!(out.p_cb_target, Some(Watts(3000.0)));
+        // The UPS deadbeats the breaker under the cap with margin.
+        assert!((out.ups_discharge.0 - (4200.0 - 3000.0 * GRID_CB_MARGIN)).abs() < 1e-9);
+        // Clearing the curtailment resumes the sprint.
+        let out2 = step_grid(&mut sc, ActiveGrid::default(), None);
+        assert_eq!(out2.mode, SprintMode::Sprinting);
+    }
+
+    #[test]
+    fn curtailment_never_raises_the_target_above_rated() {
+        // A cap above rated is still a forced un-sprint: the rack drops
+        // to rated, not to the (looser) cap.
+        let mut sc = SprintCon::new(cfg());
+        let out = step_grid(&mut sc, curtail(3600.0), None);
+        assert_eq!(out.mode, SprintMode::GridCurtail);
+        assert_eq!(out.p_cb_target, Some(Watts(3200.0)));
+    }
+
+    #[test]
+    fn hot_queue_keeps_interactive_at_peak_during_curtailment() {
+        let hot = QueueMeasurement {
+            depth: 40.0,
+            p99_s: 0.6,
+            drop_rate: 0.0,
+        };
+        let mut sc = SprintCon::new(cfg());
+        for _ in 0..5 {
+            let out = step_grid(&mut sc, curtail(3000.0), Some(hot));
+            assert_eq!(out.interactive_freq, NormFreq::PEAK);
+        }
+        // With the queue drained the throttle engages within a few
+        // periods (4.2 kW measured vs a 3.0 kW cap).
+        let cool = QueueMeasurement {
+            depth: 0.1,
+            p99_s: 0.01,
+            drop_rate: 0.0,
+        };
+        let mut out = step_grid(&mut sc, curtail(3000.0), Some(cool));
+        for _ in 0..5 {
+            out = step_grid(&mut sc, curtail(3000.0), Some(cool));
+        }
+        assert!(out.interactive_freq.0 < 1.0, "f={}", out.interactive_freq.0);
+    }
+
+    #[test]
+    fn triage_drains_nearest_deadline_batches_first() {
+        let mut sc = SprintCon::new(cfg());
+        let n = sc.server_controller().num_channels();
+        // Light interactive load (~1.3 kW est.) leaves headroom under the
+        // 3 kW cap beyond the batch floor; at util 0.6 the cap is fully
+        // consumed and every core pins to fmin.
+        let utils = vec![Utilization(0.05); sc.cfg.num_servers];
+        let freqs = vec![0.6; n];
+        // Half the cores carry urgent work (short deadline, lots left),
+        // half are relaxed — under a tight cap only the urgent half may
+        // rise above the floor.
+        let js: Vec<BatchJob> = (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    BatchJob::new(
+                        format!("urgent{i}"),
+                        ProgressModel::new(0.2),
+                        150.0,
+                        Seconds(200.0),
+                    )
+                } else {
+                    BatchJob::new(
+                        format!("relaxed{i}"),
+                        ProgressModel::new(0.2),
+                        10.0,
+                        Seconds(36000.0),
+                    )
+                }
+            })
+            .collect();
+        let out = sc.step(
+            Seconds(1.0),
+            SprintConInputs {
+                p_total: Watts(4200.0),
+                interactive_util: &utils,
+                batch_freqs: &freqs,
+                jobs: &js,
+                breaker_margin: 0.1,
+                breaker_closed: true,
+                ups_soc: 1.0,
+                queue: None,
+                grid: curtail(3000.0),
+            },
+        );
+        assert_eq!(out.mode, SprintMode::GridCurtail);
+        let fmin = sc.cfg.server.freq_scale.min.0;
+        let urgent_above: usize = out
+            .batch_freqs
+            .iter()
+            .step_by(2)
+            .filter(|f| **f > fmin + 1e-9)
+            .count();
+        assert!(urgent_above > 0, "urgent jobs must get frequency grants");
+        for (i, f) in out.batch_freqs.iter().enumerate() {
+            if i % 2 == 1 {
+                assert!(
+                    (*f - fmin).abs() < 1e-9,
+                    "relaxed core {i} must stay at the floor, got {f}"
+                );
+            }
+        }
+        assert!(out.p_batch_target.0 > 0.0);
+    }
+
+    #[test]
+    fn regulation_delta_nudges_p_cb_symmetrically() {
+        // Regulation-down: 200 W out of the overload target.
+        let down = ActiveGrid {
+            reg_delta: Some(Watts(-200.0)),
+            ..ActiveGrid::default()
+        };
+        let mut sc = SprintCon::new(cfg());
+        let out = step_grid(&mut sc, down, None);
+        assert_eq!(out.mode, SprintMode::Sprinting);
+        assert_eq!(out.p_cb_target, Some(Watts(3800.0)));
+        // Regulation-up is the mirror image.
+        let up = ActiveGrid {
+            reg_delta: Some(Watts(200.0)),
+            ..ActiveGrid::default()
+        };
+        let mut sc = SprintCon::new(cfg());
+        let out = step_grid(&mut sc, up, None);
+        assert_eq!(out.p_cb_target, Some(Watts(4200.0)));
+    }
+
+    #[test]
+    fn transient_grid_signals_leave_no_residue() {
+        // A curtailment that comes and goes must leave the supervisor in
+        // the same mode with the cap chain and entry bar reset when the
+        // signal clears. The one deliberate carry-over is the CB schedule:
+        // the forced un-sprint pushed it into its recovery phase (exactly
+        // like CbProtect does), so the target is rated, not overloaded.
+        let mut touched = SprintCon::new(cfg());
+        step_grid(&mut touched, curtail(3000.0), None);
+        let spike = ActiveGrid {
+            price_multiplier: 4.0,
+            ..ActiveGrid::default()
+        };
+        step_grid(&mut touched, spike, None);
+        let after = step_grid(&mut touched, ActiveGrid::default(), None);
+        assert_eq!(after.mode, SprintMode::Sprinting);
+        assert_eq!(after.p_cb_target, Some(Watts(3200.0)));
+        assert_eq!(touched.feeder_cap(), None);
     }
 }

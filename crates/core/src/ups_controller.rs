@@ -2,7 +2,7 @@
 //! discharge so the breaker carries exactly `P_cb`.
 //!
 //! The law is deadbeat — `p_ups = max(0, p_total − P_cb)` — because the
-//! duty-cycled discharge circuit of [24] actuates within the period and
+//! duty-cycled discharge circuit of \[24\] actuates within the period and
 //! the controlled quantity (`p_cb = p_total − p_ups`) responds
 //! instantaneously. An optional first-order filter suppresses
 //! measurement-noise chatter in the duty command without breaking the

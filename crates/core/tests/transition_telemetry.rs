@@ -4,7 +4,7 @@
 //! counters it claims to, observed through a scoped collector.
 
 use powersim::units::{Seconds, Utilization, Watts};
-use sprintcon::{SprintCon, SprintConConfig, SprintConInputs, SprintMode};
+use sprintcon::{ActiveGrid, SprintCon, SprintConConfig, SprintConInputs, SprintMode};
 use std::sync::Arc;
 use telemetry::{Collector, MetricsSnapshot, NullSink};
 use workloads::batch::BatchJob;
@@ -144,6 +144,7 @@ fn run_case(steps: &[Obs]) -> (SprintMode, MetricsSnapshot) {
                     breaker_closed: obs.closed,
                     ups_soc: obs.soc,
                     queue: None,
+                    grid: ActiveGrid::default(),
                 },
             );
         }

@@ -1,6 +1,6 @@
 //! LFP battery cycle-life model — the cost-efficiency side of §VII-D.
 //!
-//! The paper (citing Kontorinis et al. [32]) argues that a 17% depth of
+//! The paper (citing Kontorinis et al. \[32\]) argues that a 17% depth of
 //! discharge permits more than 40 000 cycles (≈10 years at 10 sprints/day,
 //! matching LFP chemical lifetime), while 31% DoD permits fewer than
 //! 10 000 cycles (3–4 battery replacements over the same horizon). We fit

@@ -7,7 +7,7 @@
 //! `o^p − 1` while overloaded (`o = delivered / rated > 1`), dissipates at
 //! a constant cooling rate otherwise, and the breaker trips when the
 //! accumulated heat reaches a budget `H`. Calibrated to the paper's
-//! operating point from [2]: overload degree 1.25 trips after 150 s, and
+//! operating point from \[2\]: overload degree 1.25 trips after 150 s, and
 //! recovery from near-trip takes at most 300 s.
 
 use crate::units::{Seconds, Watts};
@@ -51,7 +51,7 @@ impl BreakerSpec {
     }
 
     /// The paper's breaker: 3.2 kW rated, 1.25 overload for 150 s,
-    /// ≤ 300 s recovery (§VI-A, numbers shared with [2]).
+    /// ≤ 300 s recovery (§VI-A, numbers shared with \[2\]).
     pub fn paper_default() -> Self {
         Self::calibrated(Watts(3200.0), 1.25, Seconds(150.0), Seconds(300.0))
     }

@@ -32,7 +32,7 @@ pub struct PduSpec {
 
 /// Structural description of the feeder tree. Racks are numbered
 /// globally `0..num_racks()`, PDU-major: PDU 0 owns racks
-/// `0..pdus[0].num_racks`, PDU 1 the next run, and so on.
+/// `0..pdus\[0\].num_racks`, PDU 1 the next run, and so on.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DatacenterTopology {
     /// Continuous rating of the utility feeder edge.

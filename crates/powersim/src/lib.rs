@@ -17,9 +17,9 @@
 //! * [`breaker`] — inverse-time circuit-breaker trip model (Fig. 2).
 //! * [`ups`] — UPS battery with duty-cycled discharge circuit.
 //! * [`battery_life`] — LFP cycle-life vs depth-of-discharge (§VII-D).
-//! * [`supercap`] — hybrid battery + supercapacitor storage ([24]).
+//! * [`supercap`] — hybrid battery + supercapacitor storage (\[24\]).
 //! * [`thermal`] — lumped RC processor thermal model (the original
-//!   sprinting limiter of [1]/[4], behind Fig. 3's duty cycle).
+//!   sprinting limiter of \[1\]/\[4\], behind Fig. 3's duty cycle).
 //! * [`fan`] — cooling-fan power disturbance (§V-A).
 //! * [`topology`] — breaker + UPS feed serving a rack (Fig. 4).
 //! * [`datacenter`] — feeder → PDU → rack tree with breakers on every
@@ -27,6 +27,8 @@
 //! * [`noise`] — seeded noise sources used by the above.
 //! * [`faults`] — deterministic fault injection (sensor, actuator,
 //!   storage, breaker, server faults) replayed from a [`faults::FaultPlan`].
+//! * [`grid`] — deterministic grid-signal injection (curtailment, price
+//!   spikes, frequency regulation) replayed from a [`grid::GridPlan`].
 
 #![forbid(unsafe_code)]
 
@@ -36,6 +38,7 @@ pub mod cpu;
 pub mod datacenter;
 pub mod fan;
 pub mod faults;
+pub mod grid;
 pub mod noise;
 pub mod rack;
 pub mod server;
@@ -49,6 +52,10 @@ pub use breaker::{BreakerSpec, CircuitBreaker};
 pub use cpu::{CoreRole, FreqScale};
 pub use datacenter::{Datacenter, DatacenterOutcome, DatacenterTopology, PduSpec, TopologyError};
 pub use faults::{ActiveFaults, FaultEvent, FaultInjector, FaultKind, FaultPlan, StochasticFault};
+pub use grid::{
+    ActiveGrid, GridEvent, GridEventKind, GridInjector, GridPlan, GridPlanError,
+    StochasticGridEvent,
+};
 pub use rack::{
     CoreId, PowerMonitor, Rack, RackBuilder, RackConfigError, RackState, RoleView, RoleViewMut,
 };

@@ -1,6 +1,6 @@
 //! Hybrid energy storage: battery + supercapacitor.
 //!
-//! The paper's UPS actuation cites Zheng/Ma/Wang's hybrid design [24]:
+//! The paper's UPS actuation cites Zheng/Ma/Wang's hybrid design \[24\]:
 //! a supercapacitor absorbs the fast, shallow power fluctuation while the
 //! battery supplies the slow component. For an LFP pack this matters
 //! economically — every watt-second the supercap absorbs is cycling the

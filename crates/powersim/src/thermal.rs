@@ -1,5 +1,5 @@
 //! Processor thermal model — the physics that originally defined
-//! computational sprinting [1], [4].
+//! computational sprinting \[1\], \[4\].
 //!
 //! Sprinting exists because a chip can dissipate far more power than its
 //! *sustained* thermal design point for as long as its thermal mass is
@@ -36,7 +36,7 @@ pub struct ThermalModel {
 }
 
 impl ThermalModel {
-    /// A mobile-class sprinting chip in the spirit of [1]/[4]: small
+    /// A mobile-class sprinting chip in the spirit of \[1\]/\[4\]: small
     /// thermal mass, tight limit — sustains ~10 W but sprints at 50 W for
     /// a handful of seconds.
     pub fn sprint_testbed() -> Self {
@@ -128,7 +128,7 @@ impl ThermalModel {
 /// up to the throttle limit, then rest at `p_rest` until the die cools
 /// back to the restart temperature. Returns `(sprint_s, rest_s)`.
 ///
-/// This is where Fig. 3's ~18-second period comes from: the [4]-class
+/// This is where Fig. 3's ~18-second period comes from: the \[4\]-class
 /// testbed re-sprints as soon as the die has shed a fixed amount of
 /// heat, it does not wait for a full cooldown.
 pub fn periodic_sprint_duty(

@@ -1,5 +1,5 @@
 //! UPS energy-storage model: battery state of charge, discharge limits,
-//! and the duty-cycled discharge circuit of [24] that the UPS power
+//! and the duty-cycled discharge circuit of \[24\] that the UPS power
 //! controller actuates.
 //!
 //! The paper sizes the UPS to carry the maximum rack power for 5 minutes
@@ -19,7 +19,7 @@ pub struct UpsSpec {
     /// Round-trip-half efficiency of discharge: cells must supply
     /// `delivered / efficiency`.
     pub discharge_efficiency: f64,
-    /// Duty-ratio quantization of the discharge circuit of [24]
+    /// Duty-ratio quantization of the discharge circuit of \[24\]
     /// (e.g. 0.01 ≙ the switch network realizes multiples of 1%).
     pub duty_step: f64,
 }
@@ -136,7 +136,7 @@ impl UpsBattery {
     }
 }
 
-/// The duty-cycled discharge circuit of [24]: the controller commands a
+/// The duty-cycled discharge circuit of \[24\]: the controller commands a
 /// duty ratio and the UPS carries that fraction of the total load.
 ///
 /// The circuit can only realize duty ratios in multiples of

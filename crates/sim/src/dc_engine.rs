@@ -8,7 +8,8 @@
 //! [`DatacenterTopology`]. Rack `r` runs the template with seed
 //! `base.seed + r` — rack 0 *is* the template, which is what makes the
 //! single-rack equivalence gate possible (see below). Each rack is a
-//! full [`RackSim`] + [`SprintConPolicy`] + [`Recorder`] shard with its
+//! full [`RackSim`](crate::engine::RackSim) + [`SprintConPolicy`] +
+//! [`Recorder`] shard with its
 //! own thread-scoped telemetry collector, exactly mirroring
 //! `experiment::run_instrumented` so a shard's [`RunOutput`] digests
 //! identically to a standalone run.
@@ -58,7 +59,8 @@ use crate::policy::SprintConPolicy;
 use crate::recorder::Recorder;
 use crate::scenario::{Scenario, ScenarioError};
 use powersim::datacenter::{Datacenter, DatacenterTopology, TopologyError};
-use powersim::units::Watts;
+use powersim::grid::GridInjector;
+use powersim::units::{Seconds, Watts};
 use rayon::prelude::*;
 use sprintcon::{allocate_headroom_two_level, HeadroomBid};
 use std::sync::Arc;
@@ -152,7 +154,9 @@ pub struct MarketRound {
     pub grants: Vec<Watts>,
     /// Total watts handed out this round (`≤ budget`).
     pub spent: Watts,
-    /// The feeder headroom budget the round cleared against.
+    /// The feeder headroom budget the round cleared against. Nominally
+    /// the topology's feeder headroom; an active grid curtailment
+    /// shrinks it to what the per-rack cap leaves above rated draw.
     pub budget: Watts,
 }
 
@@ -211,6 +215,11 @@ pub struct DatacenterSim {
     pdu_caps: Vec<Watts>,
     /// Feeder headroom above the whole floor's rated draw.
     feeder_budget: Watts,
+    /// The floor's combined rated draw (curtailment budget arithmetic).
+    rated_total: Watts,
+    /// Floor-level grid-event replay, sampled once per market round
+    /// (seed `base.seed + 5`; racks use `rack_seed + 4` individually).
+    grid: GridInjector,
     /// Control periods per market epoch (`allocator_period / dt`).
     epoch_ticks: usize,
 }
@@ -276,6 +285,10 @@ impl DatacenterSim {
         let period = shards[0].policy.inner().cfg.allocator_period;
         let epoch_ticks = ((period.0 / scenario.base.dt.0).round() as usize).max(1);
         let dc = Datacenter::paper_calibrated(scenario.topo.clone()).map_err(DcError::Topology)?;
+        let grid = GridInjector::new(
+            scenario.base.grid.clone(),
+            scenario.base.seed.wrapping_add(5),
+        );
         Ok(DatacenterSim {
             scenario: scenario.clone(),
             shards,
@@ -283,6 +296,8 @@ impl DatacenterSim {
             pdu_of,
             pdu_caps,
             feeder_budget,
+            rated_total: Watts(rated_total),
+            grid,
             epoch_ticks,
         })
     }
@@ -301,9 +316,25 @@ impl DatacenterSim {
         self.epoch_ticks
     }
 
+    /// The feeder headroom budget in effect at `now`: the topology's
+    /// nominal budget, shrunk while a grid curtailment is active to the
+    /// headroom the per-rack cap leaves above the floor's rated draw
+    /// (`max(0, n_racks · cap − rated_total)`). Inactive plans return
+    /// the nominal budget bit-identically.
+    fn effective_budget(&mut self, now: Seconds, epoch_dt: Seconds) -> Watts {
+        let ag = self.grid.advance(now, epoch_dt);
+        match ag.curtail_cap {
+            Some(cap) => {
+                let curtailed = (self.shards.len() as f64 * cap.0 - self.rated_total.0).max(0.0);
+                Watts(self.feeder_budget.0.min(curtailed))
+            }
+            None => self.feeder_budget,
+        }
+    }
+
     /// One sequential market round: gather bids, clear the two-level
     /// auction, install the grants as breaker-target ceilings.
-    fn market_round(&mut self, epoch: usize) -> MarketRound {
+    fn market_round(&mut self, epoch: usize, budget: Watts) -> MarketRound {
         let bids: Vec<HeadroomBid> = self
             .shards
             .iter()
@@ -314,15 +345,13 @@ impl DatacenterSim {
                 priority: s.policy.inner().headroom_priority(),
             })
             .collect();
-        let alloc =
-            allocate_headroom_two_level(&bids, &self.pdu_of, &self.pdu_caps, self.feeder_budget);
+        let alloc = allocate_headroom_two_level(&bids, &self.pdu_of, &self.pdu_caps, budget);
         // Conservation is the market's contract; a violation here is a
         // bug in the auction, not a recoverable condition.
         assert!(
-            alloc.spent.0 <= self.feeder_budget.0 * (1.0 + 1e-12) + 1e-9,
-            "market overspent the feeder budget: {} > {}",
+            alloc.spent.0 <= budget.0 * (1.0 + 1e-12) + 1e-9,
+            "market overspent the feeder budget: {} > {budget}",
             alloc.spent,
-            self.feeder_budget
         );
         for (shard, &grant) in self.shards.iter_mut().zip(&alloc.grants) {
             shard.policy.inner_mut().apply_feeder_grant(Some(grant));
@@ -331,7 +360,7 @@ impl DatacenterSim {
             epoch,
             grants: alloc.grants,
             spent: alloc.spent,
-            budget: self.feeder_budget,
+            budget,
         }
     }
 
@@ -380,7 +409,11 @@ impl DatacenterSim {
         let mut epoch = 0;
         while done < total {
             let ticks = self.epoch_ticks.min(total - done);
-            rounds.push(self.market_round(epoch));
+            let budget = self.effective_budget(
+                Seconds(done as f64 * dt.0),
+                Seconds(self.epoch_ticks as f64 * dt.0),
+            );
+            rounds.push(self.market_round(epoch, budget));
             self.step_epoch(ticks, exec);
             // Replay the shared tree over the epoch's recorded rack
             // breaker powers (cheap: one sum per PDU per tick).
@@ -559,6 +592,38 @@ mod tests {
         }
         // Someone got something while sprints were live.
         assert!(out.rounds[0].spent.0 > 0.0);
+    }
+
+    #[test]
+    fn feeder_curtailment_shrinks_the_market_budget() {
+        use powersim::grid::GridPlan;
+        // Per-rack cap 3300 W across 4 racks rated 3200 W: the floor may
+        // carry 4·3300 − 4·3200 = 400 W of headroom, under the nominal
+        // 1600 W feeder budget.
+        let mut base = quick_base(9);
+        base.grid =
+            GridPlan::curtailment(Seconds(0.0), Seconds(600.0), Watts(3300.0), Seconds(30.0));
+        let dc = DcScenario::new(base, small_topo(4)).unwrap();
+        let out = run_datacenter(&dc, ExecConfig::sequential()).unwrap();
+        for round in &out.rounds {
+            assert_eq!(round.budget, Watts(400.0), "epoch {}", round.epoch);
+            assert!(round.spent.0 <= 400.0 + 1e-9, "overspent: {}", round.spent);
+        }
+        // The uncurtailed topology budget is still reported alongside.
+        assert_eq!(out.feeder_budget, Watts(1600.0));
+    }
+
+    #[test]
+    fn inactive_grid_plans_leave_the_dc_digest_unchanged() {
+        use powersim::grid::GridPlan;
+        let plain = DcScenario::new(quick_base(11), small_topo(3)).unwrap();
+        let mut with_plan = quick_base(11);
+        // An explicit empty plan must be bit-transparent.
+        with_plan.grid = GridPlan::none();
+        let wired = DcScenario::new(with_plan, small_topo(3)).unwrap();
+        let a = run_datacenter(&plain, ExecConfig::sequential()).unwrap();
+        let b = run_datacenter(&wired, ExecConfig::jobs(2)).unwrap();
+        assert_eq!(a.digest, b.digest);
     }
 
     #[test]

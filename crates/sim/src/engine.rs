@@ -34,6 +34,7 @@ use powersim::breaker::{BreakerState, CircuitBreaker};
 use powersim::cpu::CoreRole;
 use powersim::fan::FanModel;
 use powersim::faults::{ActiveFaults, FaultInjector};
+use powersim::grid::GridInjector;
 use powersim::rack::{PowerMonitor, Rack};
 use powersim::topology::{FeedOutcome, PowerFeed};
 use powersim::units::{NormFreq, Seconds, Watts};
@@ -163,6 +164,8 @@ pub struct RackSim {
     last_breaker_closed: bool,
     /// Injected-fault replay state (inert for an empty plan).
     faults: FaultInjector,
+    /// Grid-event replay state (inert for an empty plan).
+    grid: GridInjector,
     /// The spec'd inverter limit, restored when a current-limit fault ends.
     ups_max_discharge_nominal: Watts,
     /// Was any crash fault active last tick (power-state resync edge)?
@@ -221,7 +224,8 @@ impl RackSim {
             UpsBattery::full(scenario.ups),
         );
         // Seed offsets keep every noise stream independent: wiki = seed,
-        // fan = seed+1, monitor = seed+2, faults = seed+3.
+        // fan = seed+1, monitor = seed+2, faults = seed+3, grid = seed+4
+        // (dc_engine reserves seed+5 for its feeder-level grid injector).
         let fan = FanModel::paper_default(scenario.seed.wrapping_add(1));
         let monitor = PowerMonitor::new(
             scenario.seed.wrapping_add(2),
@@ -233,6 +237,7 @@ impl RackSim {
             scenario.disturbances.faults.clone(),
             scenario.seed.wrapping_add(3),
         );
+        let grid = GridInjector::new(scenario.grid.clone(), scenario.seed.wrapping_add(4));
 
         let n = rack.num_servers();
         // Invariants: the tier and job list were built from the same
@@ -263,6 +268,7 @@ impl RackSim {
             last_mode: None,
             last_breaker_closed: true,
             faults,
+            grid,
             ups_max_discharge_nominal,
             crash_was_active: false,
             substepping: scenario.substepping,
@@ -474,6 +480,21 @@ impl RackSim {
             }
         }
         self.apply_plant_faults(&af);
+        // Resolve this tick's grid signals (curtailment / price /
+        // regulation) — zero RNG draws and a nominal `ActiveGrid` for an
+        // empty plan, so grid-free runs stay bit-identical.
+        let ag = self.grid.advance(self.now, dt);
+        if telemetry::enabled() {
+            if ag.curtail_onset {
+                telemetry::counter_add("grid.curtail_events", 1);
+            }
+            if ag.price_onset {
+                telemetry::counter_add("grid.price_events", 1);
+            }
+            if ag.reg_onset {
+                telemetry::counter_add("grid.reg_events", 1);
+            }
+        }
 
         // 1. Policy decision on stale measurements.
         let view = SimView {
@@ -488,6 +509,7 @@ impl RackSim {
             fan_power: self.last_fan,
             shutdown: self.shutdown,
             queue: self.last_queue,
+            grid: ag,
         };
         let command: PolicyCommand = policy.control(&view);
 
@@ -592,6 +614,16 @@ impl RackSim {
             Watts::ZERO
         };
         let outcome = self.step_feed(p_true, ups_target, dt);
+
+        // Curtailment compliance is judged on grid-side draw (breaker
+        // power — UPS bridging is legitimate demand response): once the
+        // latched response deadline has passed, every period still above
+        // the cap is a violation.
+        if let (Some(cap), Some(deadline)) = (ag.curtail_cap, ag.curtail_deadline) {
+            if self.now.0 >= deadline.0 && outcome.cb_power.0 > cap.0 && telemetry::enabled() {
+                telemetry::counter_add("grid.compliance_violations", 1);
+            }
+        }
 
         // 6. Brownout ⇒ permanent shutdown (servers lose power and the
         // paper's scenario has no restart procedure).

@@ -59,6 +59,11 @@ pub use scenario::{Disturbances, Scenario, ScenarioBuilder, ScenarioError};
 pub use workloads::open_loop::{
     ArrivalProcess, DemandModel, QueueObservation, ServiceModel, TailSummary, WorkloadSource,
 };
+// Grid-event vocabulary, re-exported for the same reason: scenarios are
+// built against `GridPlan` without a direct `powersim` dependency.
+pub use powersim::grid::{
+    ActiveGrid, GridEvent, GridEventKind, GridPlan, GridPlanError, StochasticGridEvent,
+};
 // Re-export the sink vocabulary so downstream crates can drive
 // `run_policy_traced` without a direct `telemetry` dependency.
 pub use telemetry::{

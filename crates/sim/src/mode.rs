@@ -21,6 +21,8 @@ pub enum ModeLabel {
     UpsConserve,
     /// SprintCon: sprint over ([`SprintMode::Ended`]).
     Ended,
+    /// SprintCon: grid-forced un-sprint ([`SprintMode::GridCurtail`]).
+    GridCurtail,
     /// SGCT schedule in its overload phase.
     Overload,
     /// SGCT schedule in its recovery phase.
@@ -37,6 +39,7 @@ impl ModeLabel {
             ModeLabel::CbProtect => "cb-protect",
             ModeLabel::UpsConserve => "ups-conserve",
             ModeLabel::Ended => "ended",
+            ModeLabel::GridCurtail => "grid-curtail",
             ModeLabel::Overload => "overload",
             ModeLabel::Recover => "recover",
             ModeLabel::Fixed => "fixed",
@@ -47,7 +50,11 @@ impl ModeLabel {
     pub fn is_sprintcon(&self) -> bool {
         matches!(
             self,
-            ModeLabel::Sprint | ModeLabel::CbProtect | ModeLabel::UpsConserve | ModeLabel::Ended
+            ModeLabel::Sprint
+                | ModeLabel::CbProtect
+                | ModeLabel::UpsConserve
+                | ModeLabel::Ended
+                | ModeLabel::GridCurtail
         )
     }
 }
@@ -65,6 +72,7 @@ impl From<SprintMode> for ModeLabel {
             SprintMode::CbProtect => ModeLabel::CbProtect,
             SprintMode::UpsConserve => ModeLabel::UpsConserve,
             SprintMode::Ended => ModeLabel::Ended,
+            SprintMode::GridCurtail => ModeLabel::GridCurtail,
         }
     }
 }
@@ -80,6 +88,7 @@ mod tests {
             (ModeLabel::CbProtect, "cb-protect"),
             (ModeLabel::UpsConserve, "ups-conserve"),
             (ModeLabel::Ended, "ended"),
+            (ModeLabel::GridCurtail, "grid-curtail"),
             (ModeLabel::Overload, "overload"),
             (ModeLabel::Recover, "recover"),
             (ModeLabel::Fixed, "fixed"),
@@ -97,6 +106,7 @@ mod tests {
             SprintMode::CbProtect,
             SprintMode::UpsConserve,
             SprintMode::Ended,
+            SprintMode::GridCurtail,
         ];
         for m in modes {
             let label = ModeLabel::from(m);

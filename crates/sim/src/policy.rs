@@ -3,6 +3,7 @@
 //! family.
 
 use crate::mode::ModeLabel;
+use powersim::grid::ActiveGrid;
 use powersim::rack::Rack;
 use powersim::units::{NormFreq, Seconds, Utilization, Watts};
 use workloads::batch::BatchJob;
@@ -29,6 +30,8 @@ pub struct SimView<'a> {
     /// One-period-stale open-loop queue observation (depth, tick
     /// latency quantiles, drop counts); `None` on the closed-loop path.
     pub queue: Option<QueueObservation>,
+    /// This tick's merged grid signals (nominal when no plan is active).
+    pub grid: ActiveGrid,
 }
 
 impl<'a> SimView<'a> {
@@ -138,6 +141,7 @@ impl Policy for SprintConPolicy {
                         0.0
                     },
                 }),
+                grid: view.grid,
             },
         );
         PolicyCommand {

@@ -11,6 +11,7 @@
 use crate::engine::{RackSim, Substepping};
 use powersim::breaker::BreakerSpec;
 use powersim::faults::FaultPlan;
+use powersim::grid::{GridPlan, GridPlanError};
 use powersim::server::ServerSpec;
 use powersim::units::Seconds;
 use powersim::ups::UpsSpec;
@@ -84,11 +85,19 @@ pub enum ScenarioError {
     InvalidSubstepCount(u32),
     /// The workload source failed its own validation.
     Workload(WorkloadError),
+    /// The grid-event plan failed its own validation.
+    Grid(GridPlanError),
 }
 
 impl From<WorkloadError> for ScenarioError {
     fn from(e: WorkloadError) -> Self {
         ScenarioError::Workload(e)
+    }
+}
+
+impl From<GridPlanError> for ScenarioError {
+    fn from(e: GridPlanError) -> Self {
+        ScenarioError::Grid(e)
     }
 }
 
@@ -129,6 +138,7 @@ impl std::fmt::Display for ScenarioError {
                 write!(f, "multirate substepping needs >= 1 substep, got {k}")
             }
             ScenarioError::Workload(e) => write!(f, "workload source: {e}"),
+            ScenarioError::Grid(e) => write!(f, "grid plan: {e}"),
         }
     }
 }
@@ -167,6 +177,10 @@ pub struct Scenario {
     pub ups: UpsSpec,
     /// Measurement noise and injected faults.
     pub disturbances: Disturbances,
+    /// Grid events (curtailment / price spikes / frequency regulation)
+    /// replayed against the run; [`GridPlan::none`] leaves the loop
+    /// bit-identical to a grid-unaware build.
+    pub grid: GridPlan,
     /// Batch jobs restart on completion (continuous processing), vs
     /// one-shot jobs with deadlines.
     pub repeat_jobs: bool,
@@ -247,6 +261,7 @@ impl Scenario {
             return Err(ScenarioError::InvalidSubstepCount(0));
         }
         self.workload.validate()?;
+        self.grid.validate()?;
         Ok(())
     }
 
@@ -319,6 +334,7 @@ impl ScenarioBuilder {
                 breaker: BreakerSpec::paper_default(),
                 ups: UpsSpec::paper_default(),
                 disturbances: Disturbances::paper_default(),
+                grid: GridPlan::none(),
                 // §VI-A: "the batch workloads are processed repeatedly and
                 // continuously ... until the workload is run for 15 minutes".
                 repeat_jobs: true,
@@ -408,6 +424,12 @@ impl ScenarioBuilder {
     /// Set the injected fault schedule, keeping the noise sigmas.
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.inner.disturbances.faults = plan;
+        self
+    }
+
+    /// Set the grid-event schedule (curtailment / price / regulation).
+    pub fn grid(mut self, plan: GridPlan) -> Self {
+        self.inner.grid = plan;
         self
     }
 
@@ -557,6 +579,19 @@ mod tests {
                 .unwrap_err(),
             ScenarioError::InvalidMonitorNoise { .. }
         ));
+    }
+
+    #[test]
+    fn builder_rejects_invalid_grid_plans() {
+        use powersim::grid::GridEventKind;
+        let bad = GridPlan::none().with_event(
+            Seconds(10.0),
+            Seconds(30.0),
+            GridEventKind::PriceSpike { multiplier: 0.5 },
+        );
+        let err = Scenario::builder(1).grid(bad).build().unwrap_err();
+        assert!(matches!(err, ScenarioError::Grid(_)));
+        assert!(err.to_string().contains("grid plan"), "{err}");
     }
 
     #[test]

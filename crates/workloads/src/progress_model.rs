@@ -1,5 +1,5 @@
 //! Frequency → execution-progress model (the progress model of CoScale
-//! [12] that the power load allocator uses, §IV-B).
+//! \[12\] that the power load allocator uses, §IV-B).
 //!
 //! Execution time splits into a compute-bound part that scales with
 //! `1/f` and a memory-bound part that does not scale with core frequency.

@@ -9,7 +9,7 @@
 //! controller only ever consumes these counters through
 //! [`ProgressModel`], so matching the signature matches the behaviour.
 //!
-//! Fig. 1's six sprinting workloads (from the mobile testbed of [4]:
+//! Fig. 1's six sprinting workloads (from the mobile testbed of \[4\]:
 //! sobel, disparity, segment, kmeans, texture, feature) are modelled the
 //! same way for the motivation experiment.
 
@@ -107,7 +107,7 @@ pub fn paper_batch_mix(
         .collect()
 }
 
-/// Fig. 1's six sprinting workloads from the testbed of [4], spanning the
+/// Fig. 1's six sprinting workloads from the testbed of \[4\], spanning the
 /// compute-bound → memory-bound range.
 pub fn sprint_six() -> Vec<BenchProfile> {
     vec![

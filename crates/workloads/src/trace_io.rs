@@ -351,6 +351,117 @@ mod tests {
     }
 
     #[test]
+    fn lines_split_across_tiny_buffer_refills_parse_identically() {
+        // A pathologically small BufReader capacity forces every line to
+        // be reassembled from several fill_buf() calls, so records are
+        // split mid-number at arbitrary byte boundaries.
+        let src: String = (0..50)
+            .map(|k| format!("{k},{}\n", k as f64 * 0.1))
+            .collect();
+        let batch = read_trace(Cursor::new(src.clone()), dt1()).unwrap();
+        let tiny = std::io::BufReader::with_capacity(3, Cursor::new(src));
+        let mut r = TraceReader::new(tiny, dt1()).chunk_size(4);
+        let mut streamed = Vec::new();
+        for chunk in &mut r {
+            streamed.extend(chunk.unwrap());
+        }
+        assert_eq!(streamed, batch.values);
+        assert_eq!(r.dt(), batch.dt);
+    }
+
+    #[test]
+    fn trailing_record_without_newline_is_kept() {
+        let src = "0,0.5\n1,0.6\n2,0.7"; // no trailing newline
+        let batch = read_trace(Cursor::new(src), dt1()).unwrap();
+        assert_eq!(batch.values, vec![0.5, 0.6, 0.7]);
+        let mut r = TraceReader::new(Cursor::new(src), dt1()).chunk_size(2);
+        let streamed: Vec<f64> = (&mut r).flat_map(|c| c.unwrap()).collect();
+        assert_eq!(streamed, batch.values);
+        assert_eq!(r.rows(), 3);
+    }
+
+    #[test]
+    fn trailing_partial_record_is_a_parse_error_on_both_paths() {
+        // The writer died mid-record: the value column is missing. Both
+        // parsers must report the same line with a parse error rather
+        // than silently dropping the tail.
+        let src = "0,0.5\n1,0.6\n2,";
+        let eager = read_trace(Cursor::new(src), dt1()).unwrap_err();
+        let TraceIoError::Parse(line, _) = eager else {
+            panic!("wrong eager error {eager:?}");
+        };
+        assert_eq!(line, 3);
+        let mut r = TraceReader::new(Cursor::new(src), dt1()).chunk_size(1);
+        let last = (&mut r).last().expect("an error chunk");
+        assert!(matches!(last, Err(TraceIoError::Parse(3, _))));
+        assert!(r.next().is_none(), "reader must be fused after the error");
+    }
+
+    #[test]
+    fn empty_input_yields_no_chunks() {
+        for src in ["", "# only a comment\n", "t_s,value\n\n"] {
+            let mut r = TraceReader::new(Cursor::new(src), dt1());
+            assert!(r.next().is_none(), "{src:?} produced a chunk");
+            assert_eq!(r.rows(), 0);
+            assert_eq!(r.dt(), dt1());
+            // The materializing wrapper turns the same input into Empty.
+            assert!(matches!(
+                read_trace(Cursor::new(src), dt1()),
+                Err(TraceIoError::Empty)
+            ));
+        }
+    }
+
+    #[test]
+    fn error_on_a_chunk_boundary_discards_nothing_already_yielded() {
+        // Two good rows then a grid violation. With chunk_size 2 the good
+        // rows are yielded as a complete chunk before the error; with
+        // chunk_size 3 they fall in the failing chunk and are discarded
+        // (the documented contract).
+        let src = "0,1\n1,2\n5,3\n";
+        let mut r2 = TraceReader::new(Cursor::new(src), dt1()).chunk_size(2);
+        assert_eq!(r2.next().unwrap().unwrap(), vec![1.0, 2.0]);
+        assert!(r2.next().unwrap().is_err());
+        assert!(r2.next().is_none());
+        let mut r3 = TraceReader::new(Cursor::new(src), dt1()).chunk_size(3);
+        assert!(r3.next().unwrap().is_err());
+        assert!(r3.next().is_none());
+    }
+
+    #[test]
+    fn error_paths_match_the_eager_parser() {
+        // Every malformed fixture must produce the same rendered error
+        // from the streaming path (regardless of chunk size) as from
+        // read_trace.
+        let fixtures = [
+            "0,1\n1,2\n3,3\n", // irregular sampling
+            "1.0\npotato\n",   // garbage mid-file
+            "0,1\n2\n",        // column-count flip
+            "0,1\n1,2\n1,3\n", // non-increasing would need dt first; grid violation
+            "5,1\n4,2\n",      // non-increasing timestamps
+            "0,1,9\n",         // three columns on the first data row
+        ];
+        for src in fixtures {
+            let eager = read_trace(Cursor::new(src), dt1()).unwrap_err().to_string();
+            for chunk_size in [1, 2, 4096] {
+                let mut streamed = None;
+                let mut r = TraceReader::new(Cursor::new(src), dt1()).chunk_size(chunk_size);
+                for chunk in &mut r {
+                    if let Err(e) = chunk {
+                        streamed = Some(e.to_string());
+                        break;
+                    }
+                }
+                assert_eq!(
+                    streamed.as_deref(),
+                    Some(eager.as_str()),
+                    "{src:?} with chunk_size {chunk_size}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn file_round_trip() {
         let dir = std::env::temp_dir().join("sprintcon_trace_io");
         let path = dir.join("t.csv");

@@ -1,7 +1,7 @@
 //! Synthetic Wikipedia-like interactive load generator.
 //!
 //! The paper generates its interactive workload from Wikipedia data-center
-//! request traces [31]. Those traces are not redistributable, so we
+//! request traces \[31\]. Those traces are not redistributable, so we
 //! synthesize an arrival-rate process with the properties the controllers
 //! actually react to (documented in DESIGN.md §3):
 //!

@@ -162,7 +162,7 @@ pub mod bool {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Accepted as the length argument of [`vec`]: a fixed `usize` or a
+    /// Accepted as the length argument of [`vec()`](fn@vec): a fixed `usize` or a
     /// `usize` range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {

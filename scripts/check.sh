@@ -36,6 +36,16 @@ if [ -n "$dups" ]; then
     exit 1
 fi
 
+echo "==> cargo doc --no-deps (deny rustdoc warnings)"
+# Broken intra-doc links and malformed examples rot silently otherwise.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace "${OFFLINE[@]}" -q
+
+echo "==> cargo test --doc"
+# Doctests don't run under `cargo test --workspace -q` below for the
+# crates that restrict test targets, so run them explicitly: README and
+# DESIGN snippets are mirrored into rustdoc examples and must compile.
+cargo test --doc --workspace "${OFFLINE[@]}" -q
+
 echo "==> cargo test --workspace"
 cargo test --workspace "${OFFLINE[@]}" -q
 
