@@ -17,7 +17,10 @@
 //!    diagonal-plus-rank-one path (`MpcBackend::Structured`, the
 //!    production default). An **agreement gate** runs both backends over
 //!    the same feedback sequence and requires the decision vectors to
-//!    match within 1e-6 with both KKT-certified.
+//!    match within 1e-6 with both KKT-certified. Also reports the dense
+//!    oracle's kernel speedup: the digest-frozen scalar `Mat::matvec`
+//!    vs the unrolled `Mat::matvec_into` the oracle's FISTA gradient
+//!    runs now, agreement-gated at 1e-9 relative.
 //! 3. **Rack substrate** — ns per plant tick at the paper-default rack
 //!    (16 servers × 8 cores), single-threaded, for the pre-rework
 //!    AoS substrate (`Rack { servers: Vec<Server> }` with allocating
@@ -216,6 +219,70 @@ fn check_agreement(channels: usize, periods: usize) -> Agreement {
             .max(b.qp.kkt_residual);
     }
     agg
+}
+
+/// The dense oracle's hot kernel before and after the unrolled rework:
+/// the FISTA gradient is one `H·x` per iteration, so the oracle's cost
+/// is the matvec's. "Naive" is the digest-frozen scalar [`Mat::matvec`]
+/// (the op the oracle ran per gradient before this PR, fresh `Vec`
+/// included); "unrolled" is the 4-accumulator write-into
+/// [`Mat::matvec_into`] the oracle runs now. Interleaved best-of-3 at
+/// the 64-channel dense Hessian size.
+struct OracleKernel {
+    dim: usize,
+    naive_ns: f64,
+    unrolled_ns: f64,
+    speedup: f64,
+    max_rel_dev: f64,
+}
+
+fn bench_oracle_kernel(dim: usize, iters: usize) -> OracleKernel {
+    let mut h = Mat::zeros(dim, dim);
+    for i in 0..dim {
+        for j in 0..dim {
+            h[(i, j)] = 0.01 * (((i * 31 + j * 17) % 101) as f64 - 50.0) / 50.0;
+        }
+        h[(i, i)] += 2.0;
+    }
+    let x: Vec<f64> = (0..dim)
+        .map(|i| ((i * 13) % 7) as f64 / 7.0 - 0.4)
+        .collect();
+    let mut y = vec![0.0; dim];
+
+    // Agreement: the unrolled kernel re-associates the dot-product sum,
+    // so it is *not* bitwise-equal to the naive one — require 1e-12
+    // relative instead (the same tolerance class as the lib-level gate).
+    let reference = h.matvec(&x);
+    h.matvec_into(&x, &mut y);
+    let mut max_rel_dev = 0.0f64;
+    for (a, b) in reference.iter().zip(&y) {
+        max_rel_dev = max_rel_dev.max((a - b).abs() / a.abs().max(1.0));
+    }
+
+    let (mut naive_ns, mut unrolled_ns) = (f64::INFINITY, f64::INFINITY);
+    let mut sink = 0.0;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            sink += h.matvec(&x)[0];
+        }
+        naive_ns = naive_ns.min(t0.elapsed().as_nanos() as f64 / iters as f64);
+
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            h.matvec_into(&x, &mut y);
+            sink += y[0];
+        }
+        unrolled_ns = unrolled_ns.min(t1.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    std::hint::black_box(sink);
+    OracleKernel {
+        dim,
+        naive_ns,
+        unrolled_ns,
+        speedup: naive_ns / unrolled_ns,
+        max_rel_dev,
+    }
 }
 
 fn bench_mpc_paths(channels: usize, periods: usize) -> MpcTimings {
@@ -734,6 +801,21 @@ fn main() {
             t.dense_ns,
             t.dense_ns / t.structured_ns
         );
+        // CI gate 3b: the unrolled oracle kernel must still compute the
+        // oracle's matvec (1e-9 relative; speedup is reported, not
+        // gated — 1-core CI jitter would make a ratio gate flaky).
+        let ok = bench_oracle_kernel(128, 2_000);
+        if ok.max_rel_dev > 1e-9 {
+            eprintln!(
+                "ORACLE KERNEL DISAGREEMENT: unrolled matvec off by {:.3e} relative",
+                ok.max_rel_dev
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "oracle kernel check passed: unrolled {:.0} ns vs naive {:.0} ns at dim {} ({:.1}x, dev {:.1e})",
+            ok.unrolled_ns, ok.naive_ns, ok.dim, ok.speedup, ok.max_rel_dev
+        );
         // CI gate 4: the SoA substrate must compute the identical plant
         // and beat the pre-rework AoS substrate by at least the floor.
         let sub = bench_substrate(1024, 10_000, 80_000);
@@ -824,6 +906,13 @@ fn main() {
         t.dense_ns / t.structured_ns
     );
 
+    println!("dense-oracle kernel, 128x128 Hessian...");
+    let ok = bench_oracle_kernel(128, 20_000);
+    println!(
+        "  naive matvec   : {:.0} ns\n  unrolled matvec: {:.0} ns  ({:.1}x, max rel dev {:.1e})",
+        ok.naive_ns, ok.unrolled_ns, ok.speedup, ok.max_rel_dev
+    );
+
     println!("rack substrate, paper-default rack, single thread...");
     let sub = bench_substrate(4096, 50_000, 400_000);
     println!(
@@ -854,7 +943,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"host\": {{\"cpus\": {cpus}}},\n  \"campaign\": {{\"runs\": {}, \"scenario_secs\": {}}},\n  \"wall_clock\": {{\"seq_ms\": {seq_ms:.1}, \"speedup_meaningful\": {speedup_meaningful}, \"parallel\": [\n    {}\n  ]}},\n  \"determinism\": {{\"checked\": true, \"bit_identical\": {all_match}}},\n  \"mpc_hot_path\": {{\"channels\": 64, \"periods\": 200, \"alloc_ns_per_period\": {:.0}, \"dense_ns_per_period\": {:.0}, \"structured_ns_per_period\": {:.0}, \"speedup_structured_vs_dense\": {:.1}, \"agreement\": {{\"max_solution_dev\": {:.3e}, \"max_kkt_residual\": {:.3e}, \"pass\": {agreement_ok}}}}},\n  \"server_ticks\": {{\"full_loop_per_sec\": {full_loop:.0}, \"prework_full_loop_per_sec\": {PREWORK_FULL_LOOP_SERVER_TICKS_PER_SEC:.0}, \"full_loop_speedup\": {:.2}, \"substrate\": {{\"prework_ns_per_tick\": {:.0}, \"soa_ns_per_tick\": {:.0}, \"speedup\": {:.2}, \"model_bit_identical\": {}}}}}\n}}\n",
+        "{{\n  \"host\": {{\"cpus\": {cpus}}},\n  \"campaign\": {{\"runs\": {}, \"scenario_secs\": {}}},\n  \"wall_clock\": {{\"seq_ms\": {seq_ms:.1}, \"speedup_meaningful\": {speedup_meaningful}, \"parallel\": [\n    {}\n  ]}},\n  \"determinism\": {{\"checked\": true, \"bit_identical\": {all_match}}},\n  \"mpc_hot_path\": {{\"channels\": 64, \"periods\": 200, \"alloc_ns_per_period\": {:.0}, \"dense_ns_per_period\": {:.0}, \"structured_ns_per_period\": {:.0}, \"speedup_structured_vs_dense\": {:.1}, \"agreement\": {{\"max_solution_dev\": {:.3e}, \"max_kkt_residual\": {:.3e}, \"pass\": {agreement_ok}}}, \"oracle_kernel\": {{\"dim\": {}, \"naive_matvec_ns\": {:.0}, \"unrolled_matvec_ns\": {:.0}, \"speedup\": {:.2}, \"max_rel_dev\": {:.3e}}}}},\n  \"server_ticks\": {{\"full_loop_per_sec\": {full_loop:.0}, \"prework_full_loop_per_sec\": {PREWORK_FULL_LOOP_SERVER_TICKS_PER_SEC:.0}, \"full_loop_speedup\": {:.2}, \"substrate\": {{\"prework_ns_per_tick\": {:.0}, \"soa_ns_per_tick\": {:.0}, \"speedup\": {:.2}, \"model_bit_identical\": {}}}}}\n}}\n",
         c.len(),
         args.secs,
         jobs_json.join(",\n    "),
@@ -864,6 +953,11 @@ fn main() {
         t.dense_ns / t.structured_ns,
         agreement.max_solution_dev,
         agreement.max_kkt_residual,
+        ok.dim,
+        ok.naive_ns,
+        ok.unrolled_ns,
+        ok.speedup,
+        ok.max_rel_dev,
         full_loop / PREWORK_FULL_LOOP_SERVER_TICKS_PER_SEC,
         sub.prework_ns_per_tick,
         sub.soa_ns_per_tick,

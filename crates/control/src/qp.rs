@@ -104,15 +104,13 @@ impl QpWorkspace {
     }
 }
 
-/// `out = H·v` without allocating, mirroring [`Mat::matvec`]'s
-/// accumulation order exactly (same `zip`/`sum` shape) so workspace
-/// solves stay bit-identical to the allocating reference path.
+/// `out = H·v` without allocating, over the unrolled 4-accumulator
+/// kernel ([`Mat::matvec_into`]). Every Hessian product in this module
+/// — `solve`, `solve_with`, and the public objective/gradient/residual
+/// helpers — goes through here, so the reference and workspace paths
+/// share one accumulation order and stay bit-identical to each other.
 fn matvec_into(h: &Mat, v: &[f64], out: &mut [f64]) {
-    debug_assert_eq!(h.cols(), v.len());
-    debug_assert_eq!(h.rows(), out.len());
-    for (yi, row) in out.iter_mut().zip(h.rows_iter()) {
-        *yi = row.iter().zip(v).map(|(a, b)| a * b).sum();
-    }
+    h.matvec_into(v, out);
 }
 
 impl QpProblem {
@@ -133,13 +131,15 @@ impl QpProblem {
 
     /// Objective value `½xᵀHx + gᵀx`.
     pub fn objective(&self, x: &[f64]) -> f64 {
-        let hx = self.h.matvec(x);
+        let mut hx = vec![0.0; self.h.rows()];
+        matvec_into(&self.h, x, &mut hx);
         0.5 * crate::linalg::dot(x, &hx) + crate::linalg::dot(&self.g, x)
     }
 
     /// Gradient `Hx + g`.
     pub fn gradient(&self, x: &[f64]) -> Vec<f64> {
-        let mut grad = self.h.matvec(x);
+        let mut grad = vec![0.0; self.h.rows()];
+        matvec_into(&self.h, x, &mut grad);
         for (gi, g0) in grad.iter_mut().zip(&self.g) {
             *gi += g0;
         }

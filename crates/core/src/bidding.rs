@@ -150,23 +150,47 @@ pub struct HeadroomAllocation {
 /// budget. Mirrors [`allocate_power_bids`] with watts as the currency
 /// instead of frequency.
 pub fn allocate_headroom(bids: &[HeadroomBid], budget: Watts) -> HeadroomAllocation {
+    let mut order = Vec::new();
+    let mut grants = Vec::new();
+    let (spent, granted) = allocate_headroom_core(bids, budget, &mut order, &mut grants);
+    HeadroomAllocation {
+        grants,
+        spent,
+        granted,
+    }
+}
+
+/// The single-level greedy auction over caller-owned scratch: `order`
+/// and `grants` are cleared and refilled, never shrunk, so a reused
+/// workspace round allocates nothing once warm. Returns
+/// `(spent, granted)`; the grants land in `grants` in bid input order.
+/// [`allocate_headroom`] is this plus a fresh pair of Vecs, so the
+/// ranking and tie-break semantics are one piece of code, not two.
+fn allocate_headroom_core(
+    bids: &[HeadroomBid],
+    budget: Watts,
+    order: &mut Vec<usize>,
+    grants: &mut Vec<Watts>,
+) -> (Watts, usize) {
     assert!(budget.is_finite(), "budget must be finite");
     assert!(
         bids.iter()
             .all(|b| b.request.is_finite() && b.priority.is_finite()),
         "bids must be finite"
     );
-    let mut order: Vec<usize> = (0..bids.len()).collect();
+    order.clear();
+    order.extend(0..bids.len());
     order.sort_by(|&a, &b| {
         bids[b]
             .value()
             .total_cmp(&bids[a].value())
             .then(bids[a].id.cmp(&bids[b].id))
     });
-    let mut grants = vec![Watts::ZERO; bids.len()];
+    grants.clear();
+    grants.resize(bids.len(), Watts::ZERO);
     let mut remaining = budget.0.max(0.0);
     let mut granted = 0;
-    for &i in &order {
+    for &i in &*order {
         if remaining <= 0.0 {
             break;
         }
@@ -182,11 +206,7 @@ pub fn allocate_headroom(bids: &[HeadroomBid], budget: Watts) -> HeadroomAllocat
             break; // marginal bidder exhausted the budget
         }
     }
-    HeadroomAllocation {
-        spent: Watts(budget.0.max(0.0) - remaining),
-        grants,
-        granted,
-    }
+    (Watts(budget.0.max(0.0) - remaining), granted)
 }
 
 /// The two-level feeder → PDU → rack market round. `pdu_of[i]` names
@@ -205,6 +225,78 @@ pub fn allocate_headroom_two_level(
     pdu_caps: &[Watts],
     feeder_budget: Watts,
 ) -> HeadroomAllocation {
+    let mut ws = MarketWorkspace::new();
+    let outcome = allocate_headroom_two_level_with(&mut ws, bids, pdu_of, pdu_caps, feeder_budget);
+    HeadroomAllocation {
+        grants: std::mem::take(&mut ws.grants),
+        spent: outcome.spent,
+        granted: outcome.granted,
+    }
+}
+
+/// Reusable scratch for [`allocate_headroom_two_level_with`] — the
+/// market-round analogue of `control::qp::QpWorkspace`. Every Vec a
+/// two-level round needs lives here, cleared and refilled per round but
+/// never shrunk, so a long campaign's market clearing allocates only on
+/// the first round (or when the fleet grows). Reuse is semantically
+/// invisible: a warm workspace produces bit-identical grants to a fresh
+/// one (see the `workspace_reuse_is_deterministic` test).
+#[derive(Debug, Clone, Default)]
+pub struct MarketWorkspace {
+    /// Ranking scratch shared by the level-1 and per-PDU auctions.
+    order: Vec<usize>,
+    /// Per-PDU aggregate demand (Σ member requests, clamped ≥ 0).
+    pdu_demand: Vec<f64>,
+    /// Per-PDU aggregate bid value (Σ member values).
+    pdu_value: Vec<f64>,
+    /// Level-1 bids, one per PDU.
+    pdu_bids: Vec<HeadroomBid>,
+    /// Level-1 grants, one per PDU.
+    pdu_grants: Vec<Watts>,
+    /// Global bid indices of the PDU currently clearing at level 2.
+    members: Vec<usize>,
+    /// That PDU's member bids, densely packed for the local auction.
+    member_bids: Vec<HeadroomBid>,
+    /// That PDU's local grants (member order).
+    member_grants: Vec<Watts>,
+    /// Final grants in bid input order — read via [`Self::grants`].
+    grants: Vec<Watts>,
+}
+
+impl MarketWorkspace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grants from the most recent round, in bid input order. Valid
+    /// until the next `allocate_headroom_two_level_with` call.
+    pub fn grants(&self) -> &[Watts] {
+        &self.grants
+    }
+}
+
+/// What a zero-alloc market round hands back by value; the grants stay
+/// in the workspace ([`MarketWorkspace::grants`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarketOutcome {
+    /// Total watts handed out. `spent ≤ feeder_budget` always.
+    pub spent: Watts,
+    /// Bidders that received a positive grant.
+    pub granted: usize,
+}
+
+/// [`allocate_headroom_two_level`] over a reusable [`MarketWorkspace`]:
+/// identical auction semantics (same aggregation, ranking, tie-breaks,
+/// and fractional marginal grants — the Vec-returning entry point
+/// delegates here), but a warm workspace makes the round allocation-
+/// free. Grants land in `ws.grants()` in bid input order.
+pub fn allocate_headroom_two_level_with(
+    ws: &mut MarketWorkspace,
+    bids: &[HeadroomBid],
+    pdu_of: &[usize],
+    pdu_caps: &[Watts],
+    feeder_budget: Watts,
+) -> MarketOutcome {
     assert_eq!(bids.len(), pdu_of.len(), "bid/PDU map shape mismatch");
     let num_pdus = pdu_caps.len();
     assert!(
@@ -212,59 +304,68 @@ pub fn allocate_headroom_two_level(
         "PDU index out of range"
     );
     // Level-1 bids: one per PDU, aggregated from its member racks.
-    let mut demand = vec![0.0; num_pdus];
-    let mut value = vec![0.0; num_pdus];
+    ws.pdu_demand.clear();
+    ws.pdu_demand.resize(num_pdus, 0.0);
+    ws.pdu_value.clear();
+    ws.pdu_value.resize(num_pdus, 0.0);
     for (b, &p) in bids.iter().zip(pdu_of) {
-        demand[p] += b.request.0.max(0.0);
-        value[p] += b.value();
+        ws.pdu_demand[p] += b.request.0.max(0.0);
+        ws.pdu_value[p] += b.value();
     }
-    let pdu_bids: Vec<HeadroomBid> = (0..num_pdus)
-        .map(|p| {
-            let capped = demand[p].min(pdu_caps[p].0.max(0.0));
-            let mean_priority = if demand[p] > 0.0 {
-                value[p] / demand[p]
-            } else {
-                0.0
-            };
-            HeadroomBid {
-                id: p,
-                request: Watts(capped),
-                priority: mean_priority,
-            }
-        })
-        .collect();
-    let level1 = allocate_headroom(&pdu_bids, feeder_budget);
+    ws.pdu_bids.clear();
+    for (p, cap) in pdu_caps.iter().enumerate() {
+        let capped = ws.pdu_demand[p].min(cap.0.max(0.0));
+        let mean_priority = if ws.pdu_demand[p] > 0.0 {
+            ws.pdu_value[p] / ws.pdu_demand[p]
+        } else {
+            0.0
+        };
+        ws.pdu_bids.push(HeadroomBid {
+            id: p,
+            request: Watts(capped),
+            priority: mean_priority,
+        });
+    }
+    allocate_headroom_core(
+        &ws.pdu_bids,
+        feeder_budget,
+        &mut ws.order,
+        &mut ws.pdu_grants,
+    );
 
     // Level 2: each PDU re-auctions its grant across its own racks.
-    let mut grants = vec![Watts::ZERO; bids.len()];
+    ws.grants.clear();
+    ws.grants.resize(bids.len(), Watts::ZERO);
     let mut spent = 0.0;
     let mut granted = 0;
-    let mut members: Vec<usize> = Vec::with_capacity(bids.len());
-    let mut member_bids: Vec<HeadroomBid> = Vec::with_capacity(bids.len());
     for p in 0..num_pdus {
-        let budget = level1.grants[p];
+        let budget = ws.pdu_grants[p];
         if budget.0 <= 0.0 {
             continue;
         }
-        members.clear();
-        member_bids.clear();
+        ws.members.clear();
+        ws.member_bids.clear();
         for (i, &q) in pdu_of.iter().enumerate() {
             if q == p {
-                members.push(i);
-                member_bids.push(bids[i]);
+                ws.members.push(i);
+                ws.member_bids.push(bids[i]);
             }
         }
-        let local = allocate_headroom(&member_bids, budget);
-        for (&i, g) in members.iter().zip(&local.grants) {
-            grants[i] = *g;
+        let (local_spent, _) = allocate_headroom_core(
+            &ws.member_bids,
+            budget,
+            &mut ws.order,
+            &mut ws.member_grants,
+        );
+        for (&i, g) in ws.members.iter().zip(&ws.member_grants) {
+            ws.grants[i] = *g;
             if g.0 > 0.0 {
                 granted += 1;
             }
         }
-        spent += local.spent.0;
+        spent += local_spent.0;
     }
-    HeadroomAllocation {
-        grants,
+    MarketOutcome {
         spent: Watts(spent),
         granted,
     }
@@ -463,6 +564,45 @@ mod tests {
         assert_eq!(a.grants[1], Watts::ZERO);
         let total: f64 = a.grants.iter().map(|g| g.0).sum();
         assert!(total <= 1200.0 + 1e-9);
+    }
+
+    #[test]
+    fn workspace_reuse_is_deterministic() {
+        // The same bid set cleared through a fresh workspace and through
+        // one warmed on a differently-shaped round must produce
+        // bit-identical grants — and both must match the Vec-returning
+        // entry point.
+        let b: Vec<HeadroomBid> = (0..9)
+            .map(|i| hbid(i, 150.0 + 37.5 * (i as f64), 0.25 + 0.4 * (i % 4) as f64))
+            .collect();
+        let pdu_of = [0, 0, 0, 1, 1, 1, 2, 2, 2];
+        let caps = [Watts(600.0), Watts(900.0), Watts(350.0)];
+        let budget = Watts(1100.0);
+
+        let mut warm = MarketWorkspace::new();
+        // Warm-up on a different shape so every scratch Vec is dirty.
+        let distractors: Vec<HeadroomBid> = (0..5).map(|i| hbid(i, 9999.0, 7.0)).collect();
+        allocate_headroom_two_level_with(
+            &mut warm,
+            &distractors,
+            &[0, 1, 1, 0, 1],
+            &[Watts(1e6), Watts(1e6)],
+            Watts(1e6),
+        );
+
+        let mut fresh = MarketWorkspace::new();
+        let out_fresh = allocate_headroom_two_level_with(&mut fresh, &b, &pdu_of, &caps, budget);
+        let out_warm = allocate_headroom_two_level_with(&mut warm, &b, &pdu_of, &caps, budget);
+        let vec_api = allocate_headroom_two_level(&b, &pdu_of, &caps, budget);
+
+        assert_eq!(out_fresh, out_warm);
+        assert_eq!(fresh.grants(), warm.grants());
+        assert_eq!(vec_api.grants.as_slice(), fresh.grants());
+        assert_eq!(vec_api.spent.0.to_bits(), out_fresh.spent.0.to_bits());
+        assert_eq!(vec_api.granted, out_fresh.granted);
+        for (a, b) in vec_api.grants.iter().zip(fresh.grants()) {
+            assert_eq!(a.0.to_bits(), b.0.to_bits());
+        }
     }
 
     #[test]

@@ -63,8 +63,9 @@ pub mod ups_controller;
 
 pub use allocator::{AllocatorTargets, CbScheduler, PowerLoadAllocator, ScheduleKind};
 pub use bidding::{
-    allocate_headroom, allocate_headroom_two_level, allocate_power_bids, BidAllocation,
-    HeadroomAllocation, HeadroomBid, PowerBid,
+    allocate_headroom, allocate_headroom_two_level, allocate_headroom_two_level_with,
+    allocate_power_bids, BidAllocation, HeadroomAllocation, HeadroomBid, MarketOutcome,
+    MarketWorkspace, PowerBid,
 };
 pub use chip_quota::{divide_quota, QuotaPolicy};
 pub use config::{ConfigError, SprintConConfig};

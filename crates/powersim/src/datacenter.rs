@@ -177,6 +177,17 @@ pub struct DatacenterOutcome {
     pub feeder_tripped: bool,
 }
 
+/// The feeder-edge part of one aggregation step — what
+/// [`Datacenter::step_pdu_loads`] returns by value; the per-PDU outputs
+/// land in caller-owned slices so replay loops allocate nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeederTick {
+    /// Load offered to the feeder breaker (Σ of PDU deliveries).
+    pub feeder_load: Watts,
+    /// The feeder breaker tripped during this step.
+    pub feeder_tripped: bool,
+}
+
 /// The live feeder tree: the static topology plus one [`CircuitBreaker`]
 /// per PDU edge and one on the feeder edge. Rack edges live inside each
 /// rack's own [`crate::topology::PowerFeed`] and are *not* duplicated
@@ -251,6 +262,10 @@ impl Datacenter {
     /// through its own breaker during the interval (UPS contributions
     /// never touch the shared tree). Per-PDU sums load the PDU breakers;
     /// the sum of PDU deliveries loads the feeder breaker.
+    ///
+    /// Allocates the outcome vectors; replay loops that step the tree
+    /// every tick should precompute the per-PDU sums and use
+    /// [`Datacenter::step_pdu_loads`] instead.
     pub fn step(&mut self, rack_cb_power: &[Watts], dt: Seconds) -> DatacenterOutcome {
         assert_eq!(
             rack_cb_power.len(),
@@ -266,20 +281,49 @@ impl Datacenter {
             }
             start += pdu.num_racks;
         }
-        let mut pdu_delivered = Vec::with_capacity(self.pdu_breakers.len());
-        let mut pdu_tripped = Vec::with_capacity(self.pdu_breakers.len());
-        let mut feeder_load = 0.0;
-        for (p, brk) in self.pdu_breakers.iter_mut().enumerate() {
-            let out = brk.step(Watts(self.pdu_loads[p]), dt);
-            feeder_load += out.delivered.0;
-            pdu_delivered.push(out.delivered);
-            pdu_tripped.push(out.tripped);
-        }
-        let feeder_out = self.feeder_breaker.step(Watts(feeder_load), dt);
+        let n = self.pdu_breakers.len();
+        let mut pdu_delivered = vec![0.0; n];
+        let mut pdu_tripped = vec![false; n];
+        // Self-borrow dance: step_pdu_loads reads self.pdu_loads through
+        // its argument, so lend it out for the call.
+        let loads = std::mem::take(&mut self.pdu_loads);
+        let feeder = self.step_pdu_loads(&loads, dt, &mut pdu_delivered, &mut pdu_tripped);
+        self.pdu_loads = loads;
         DatacenterOutcome {
             pdu_loads: self.pdu_loads.iter().map(|&w| Watts(w)).collect(),
-            pdu_delivered,
+            pdu_delivered: pdu_delivered.into_iter().map(Watts).collect(),
             pdu_tripped,
+            feeder_load: feeder.feeder_load,
+            feeder_tripped: feeder.feeder_tripped,
+        }
+    }
+
+    /// One aggregation step from precomputed per-PDU load sums,
+    /// allocation-free: per-PDU deliveries and trip flags land in the
+    /// caller's slices, the feeder edge comes back by value. Breakers
+    /// are stepped in PDU order then the feeder — the exact operation
+    /// order of [`Datacenter::step`], which is implemented on top of
+    /// this and therefore bit-identical.
+    pub fn step_pdu_loads(
+        &mut self,
+        pdu_loads: &[f64],
+        dt: Seconds,
+        delivered_out: &mut [f64],
+        tripped_out: &mut [bool],
+    ) -> FeederTick {
+        let n = self.pdu_breakers.len();
+        assert_eq!(pdu_loads.len(), n, "PDU load vector shape mismatch");
+        assert_eq!(delivered_out.len(), n, "delivered slice shape mismatch");
+        assert_eq!(tripped_out.len(), n, "tripped slice shape mismatch");
+        let mut feeder_load = 0.0;
+        for (p, brk) in self.pdu_breakers.iter_mut().enumerate() {
+            let out = brk.step(Watts(pdu_loads[p]), dt);
+            feeder_load += out.delivered.0;
+            delivered_out[p] = out.delivered.0;
+            tripped_out[p] = out.tripped;
+        }
+        let feeder_out = self.feeder_breaker.step(Watts(feeder_load), dt);
+        FeederTick {
             feeder_load: Watts(feeder_load),
             feeder_tripped: feeder_out.tripped,
         }
@@ -408,5 +452,39 @@ mod tests {
             }
         }
         assert!(feeder_tripped, "the shared feeder must be the binding edge");
+    }
+
+    #[test]
+    fn step_pdu_loads_is_bitwise_identical_to_step() {
+        // Drive two clones of the same tree through a stressy trajectory,
+        // one via `step`, one via precomputed PDU sums through the
+        // allocation-free path; every output must agree bitwise.
+        let t = topo_2x3();
+        let mut via_step = Datacenter::paper_calibrated(t.clone()).expect("valid");
+        let mut via_loads = via_step.clone();
+        let n = t.num_pdus();
+        let mut delivered = vec![0.0; n];
+        let mut tripped = vec![false; n];
+        for s in 0..400 {
+            let racks: Vec<Watts> = (0..t.num_racks())
+                .map(|r| Watts(4_000.0 + 600.0 * ((s + r) % 5) as f64))
+                .collect();
+            let out = via_step.step(&racks, Seconds(1.0));
+            // Same per-PDU summation order as `step`: racks ascending.
+            let mut sums = vec![0.0; n];
+            for (r, w) in racks.iter().enumerate() {
+                sums[t.pdu_of_rack(r)] += w.0;
+            }
+            let feeder =
+                via_loads.step_pdu_loads(&sums, Seconds(1.0), &mut delivered, &mut tripped);
+            assert_eq!(out.feeder_load.0.to_bits(), feeder.feeder_load.0.to_bits());
+            assert_eq!(out.feeder_tripped, feeder.feeder_tripped);
+            for p in 0..n {
+                assert_eq!(out.pdu_loads[p].0.to_bits(), sums[p].to_bits());
+                assert_eq!(out.pdu_delivered[p].0.to_bits(), delivered[p].to_bits());
+                assert_eq!(out.pdu_tripped[p], tripped[p]);
+            }
+        }
+        assert_eq!(via_step.feeder_breaker(), via_loads.feeder_breaker());
     }
 }

@@ -22,18 +22,23 @@
 //!
 //! 1. a **sequential market round** on the driving thread: every rack
 //!    bids its overload headroom ([`sprintcon::SprintCon::headroom_request`]),
-//!    [`allocate_headroom_two_level`] clears the feeder budget through
-//!    the PDU caps, and the grants are installed as breaker-target
-//!    ceilings ([`sprintcon::SprintCon::apply_feeder_grant`]);
+//!    the two-level auction clears the feeder budget through the PDU
+//!    caps over a reusable [`MarketWorkspace`] (allocation-free once
+//!    warm), and the grants are installed as breaker-target ceilings
+//!    ([`sprintcon::SprintCon::apply_feeder_grant`]);
 //! 2. **parallel epoch stepping**: shards advance one epoch with no
 //!    shared state — cross-rack information flows *only* through the
-//!    market round at the boundary — sharded one-rack-per-worker over
-//!    the same rayon pool the [`Campaign`](crate::exec::Campaign) layer
-//!    uses. Workers are fresh threads and every shard installs its own
-//!    collector, so metrics cannot bleed between racks;
-//! 3. a **sequential tree replay**: the recorded per-rack breaker powers
-//!    of the epoch drive the [`Datacenter`] PDU/feeder thermal breakers
-//!    tick by tick.
+//!    market round at the boundary — sharded over a **persistent worker
+//!    pool** built once per run (scoped threads parked on a barrier
+//!    between epochs, each owning a fixed contiguous slice of racks).
+//!    Every shard installs its own collector for the duration of its
+//!    step, so metrics cannot bleed between racks even on long-lived
+//!    workers;
+//! 3. a **sequential tree replay**: the per-rack breaker powers of the
+//!    epoch are folded rack-ascending into contiguous per-PDU tick
+//!    lanes, then the [`Datacenter`] PDU/feeder thermal breakers are
+//!    stepped tick by tick from the precomputed sums
+//!    ([`Datacenter::step_pdu_loads`], allocation-free).
 //!
 //! Because market rounds and the tree replay are sequential and the
 //! epoch stepping is embarrassingly parallel, the run is a pure function
@@ -48,11 +53,22 @@
 //! `p_cb` exactly), so rack 0's digest equals the plain
 //! `run_policy(.., PolicyKind::SprintCon)` digest bit for bit.
 //!
+//! ## Memory model (DESIGN.md §5i)
+//!
+//! [`DcRecordMode`] picks the recording retention. `Full` keeps every
+//! rack's whole-run [`Sample`](crate::recorder::Sample) trajectory —
+//! O(racks × ticks) resident, full post-hoc analysis. `Streaming` keeps
+//! only one epoch of contiguous `cb_power` lane per rack plus folded
+//! aggregates and a running digest — O(racks) resident — and produces
+//! **bit-identical** per-rack and floor digests (the digest byte stream
+//! is folded sample-by-sample in push order either way). The replay
+//! consumes each epoch lane and clears it; `samples()` stays empty.
+//!
 //! Market rounds are telemetry-free by construction (the run digest
 //! includes telemetry counters, so a bid must not perturb a rack's
 //! digest).
 
-use crate::exec::{run_digest, DigestBuilder, ExecConfig};
+use crate::exec::{digest_run_tail, run_digest, DigestBuilder, ExecConfig};
 use crate::experiment::RunOutput;
 use crate::metrics::RunSummary;
 use crate::policy::SprintConPolicy;
@@ -61,9 +77,10 @@ use crate::scenario::{Scenario, ScenarioError};
 use powersim::datacenter::{Datacenter, DatacenterTopology, TopologyError};
 use powersim::grid::GridInjector;
 use powersim::units::{Seconds, Watts};
-use rayon::prelude::*;
-use sprintcon::{allocate_headroom_two_level, HeadroomBid};
-use std::sync::Arc;
+use sprintcon::{allocate_headroom_two_level_with, HeadroomBid, MarketWorkspace};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex, MutexGuard};
 use telemetry::{Collector, NullSink};
 
 /// A datacenter experiment: one rack template fanned across a power
@@ -94,6 +111,22 @@ impl DcScenario {
         sc.seed = self.base.seed.wrapping_add(rack as u64);
         sc
     }
+}
+
+/// Recording retention for a datacenter run — the memory/observability
+/// trade at floor scale (see the module docs and DESIGN.md §5i).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DcRecordMode {
+    /// Every rack keeps its whole-run sample trajectory:
+    /// O(racks × ticks) resident, full post-hoc analysis, the historical
+    /// behavior and the default.
+    #[default]
+    Full,
+    /// Every rack keeps one epoch of `cb_power` lane plus folded
+    /// aggregates and a running digest: O(racks) resident, bit-identical
+    /// digests and summaries, empty `samples()`. The mode that makes a
+    /// 10k-rack floor routine.
+    Streaming,
 }
 
 /// Why a datacenter scenario failed validation.
@@ -165,8 +198,15 @@ pub struct MarketRound {
 pub struct DcRunOutput {
     /// Per-rack results, rack order — each shaped exactly like a
     /// standalone `run_policy` output (recording, §VII summary,
-    /// telemetry snapshot).
+    /// telemetry snapshot). Under [`DcRecordMode::Streaming`] the
+    /// recorders' `samples()` are empty (aggregates and events remain).
     pub racks: Vec<RunOutput>,
+    /// Per-rack [`run_digest`]s, rack order — bit-identical between
+    /// record modes, so streaming runs stay spot-checkable against
+    /// standalone full runs.
+    pub rack_digests: Vec<u64>,
+    /// The recording retention this run used.
+    pub record_mode: DcRecordMode,
     /// The cleared market rounds, epoch order.
     pub rounds: Vec<MarketRound>,
     /// `pdu_of[r]` — which PDU rack `r` hangs off (conservation tests).
@@ -183,7 +223,7 @@ pub struct DcRunOutput {
     pub peak_feeder_load: Watts,
     /// Determinism digest of the whole run: per-rack [`run_digest`]s in
     /// rack order, the market rounds, and the aggregate tree outcomes.
-    /// Bit-identical across worker counts.
+    /// Bit-identical across worker counts *and* record modes.
     pub digest: u64,
 }
 
@@ -204,6 +244,51 @@ struct RackShard {
     collector: Arc<Collector>,
 }
 
+/// Epoch hand-off between the driving thread and the persistent worker
+/// pool. Workers park on `barrier` between epochs; the driver stores
+/// the tick count, releases them through the start barrier, and meets
+/// them again at the end barrier. A worker panic is caught into `panic`
+/// (first wins) and re-raised on the driving thread, so a failed rack
+/// step surfaces exactly as it would sequentially.
+struct EpochCtl {
+    /// Rendezvous of all workers + the driver (width + 1 parties),
+    /// crossed twice per epoch: start and end.
+    barrier: Barrier,
+    /// Ticks to advance this epoch (stored before the start barrier).
+    ticks: AtomicUsize,
+    /// Set (then barrier crossed once) to shut the pool down.
+    stop: AtomicBool,
+    /// First worker panic payload, re-raised by the driver.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl EpochCtl {
+    fn new(width: usize) -> Self {
+        EpochCtl {
+            barrier: Barrier::new(width + 1),
+            ticks: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            panic: Mutex::new(None),
+        }
+    }
+}
+
+/// A `Mutex` lock that shrugs off poisoning: shard mutexes guard plain
+/// data (no invariants broken mid-panic beyond what the panic itself
+/// reports), and the driver re-raises worker panics anyway.
+fn lock_shard(cell: &Mutex<RackShard>) -> MutexGuard<'_, RackShard> {
+    cell.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// What the drive loop aggregates; [`DatacenterSim::finalize`] folds it
+/// with the per-rack outputs into the [`DcRunOutput`].
+struct DriveAgg {
+    rounds: Vec<MarketRound>,
+    pdu_trip_periods: Vec<u64>,
+    feeder_trip_periods: u64,
+    peak_feeder_load: Watts,
+}
+
 /// The assembled datacenter: rack shards plus the shared power tree.
 pub struct DatacenterSim {
     scenario: DcScenario,
@@ -222,15 +307,26 @@ pub struct DatacenterSim {
     grid: GridInjector,
     /// Control periods per market epoch (`allocator_period / dt`).
     epoch_ticks: usize,
+    /// Recording retention (see [`DcRecordMode`]).
+    record_mode: DcRecordMode,
 }
 
 impl DatacenterSim {
+    /// Build every rack shard and the shared tree from the scenario,
+    /// with [`DcRecordMode::Full`] retention.
+    pub fn from_scenario(scenario: &DcScenario) -> Result<Self, DcError> {
+        Self::from_scenario_with(scenario, DcRecordMode::Full)
+    }
+
     /// Build every rack shard and the shared tree from the scenario.
     ///
     /// Shards are assembled inside their own collector scope, mirroring
     /// `experiment::run_instrumented`, so construction-time telemetry
     /// (if any) lands in the same place as a standalone run's.
-    pub fn from_scenario(scenario: &DcScenario) -> Result<Self, DcError> {
+    pub fn from_scenario_with(
+        scenario: &DcScenario,
+        record_mode: DcRecordMode,
+    ) -> Result<Self, DcError> {
         scenario.base.validate().map_err(DcError::Scenario)?;
         scenario.topo.validate().map_err(DcError::Topology)?;
         let num_racks = scenario.topo.num_racks();
@@ -242,10 +338,14 @@ impl DatacenterSim {
             let (sim, policy) = telemetry::with_collector(Arc::clone(&collector), || {
                 (sc.build(), SprintConPolicy::paper_default())
             });
+            let rec = match record_mode {
+                DcRecordMode::Full => Recorder::with_capacity(steps),
+                DcRecordMode::Streaming => Recorder::streaming(),
+            };
             shards.push(RackShard {
                 sim,
                 policy,
-                rec: Recorder::with_capacity(steps),
+                rec,
                 collector,
             });
         }
@@ -299,6 +399,7 @@ impl DatacenterSim {
             rated_total: Watts(rated_total),
             grid,
             epoch_ticks,
+            record_mode,
         })
     }
 
@@ -316,6 +417,11 @@ impl DatacenterSim {
         self.epoch_ticks
     }
 
+    /// The recording retention this sim was built with.
+    pub fn record_mode(&self) -> DcRecordMode {
+        self.record_mode
+    }
+
     /// The feeder headroom budget in effect at `now`: the topology's
     /// nominal budget, shrunk while a grid curtailment is active to the
     /// headroom the per-rack cap leaves above the floor's rated draw
@@ -325,85 +431,191 @@ impl DatacenterSim {
         let ag = self.grid.advance(now, epoch_dt);
         match ag.curtail_cap {
             Some(cap) => {
-                let curtailed = (self.shards.len() as f64 * cap.0 - self.rated_total.0).max(0.0);
+                let curtailed =
+                    (self.num_racks_hint() as f64 * cap.0 - self.rated_total.0).max(0.0);
                 Watts(self.feeder_budget.0.min(curtailed))
             }
             None => self.feeder_budget,
         }
     }
 
+    /// Rack count that survives `run()` moving the shards into their
+    /// mutex cells (the pdu_of map is per-rack and never moves).
+    fn num_racks_hint(&self) -> usize {
+        self.pdu_of.len()
+    }
+
     /// One sequential market round: gather bids, clear the two-level
-    /// auction, install the grants as breaker-target ceilings.
-    fn market_round(&mut self, epoch: usize, budget: Watts) -> MarketRound {
-        let bids: Vec<HeadroomBid> = self
-            .shards
-            .iter()
-            .enumerate()
-            .map(|(r, s)| HeadroomBid {
+    /// auction over the reusable workspace, install the grants as
+    /// breaker-target ceilings. Only the `MarketRound::grants` copy for
+    /// the output allocates once the workspace is warm.
+    fn market_round(
+        &mut self,
+        cells: &[Mutex<RackShard>],
+        bids: &mut Vec<HeadroomBid>,
+        ws: &mut MarketWorkspace,
+        epoch: usize,
+        budget: Watts,
+    ) -> MarketRound {
+        bids.clear();
+        for (r, cell) in cells.iter().enumerate() {
+            let shard = lock_shard(cell);
+            bids.push(HeadroomBid {
                 id: r,
-                request: s.policy.inner().headroom_request(),
-                priority: s.policy.inner().headroom_priority(),
-            })
-            .collect();
-        let alloc = allocate_headroom_two_level(&bids, &self.pdu_of, &self.pdu_caps, budget);
+                request: shard.policy.inner().headroom_request(),
+                priority: shard.policy.inner().headroom_priority(),
+            });
+        }
+        let outcome =
+            allocate_headroom_two_level_with(ws, bids, &self.pdu_of, &self.pdu_caps, budget);
         // Conservation is the market's contract; a violation here is a
         // bug in the auction, not a recoverable condition.
         assert!(
-            alloc.spent.0 <= budget.0 * (1.0 + 1e-12) + 1e-9,
+            outcome.spent.0 <= budget.0 * (1.0 + 1e-12) + 1e-9,
             "market overspent the feeder budget: {} > {budget}",
-            alloc.spent,
+            outcome.spent,
         );
-        for (shard, &grant) in self.shards.iter_mut().zip(&alloc.grants) {
+        for (cell, &grant) in cells.iter().zip(ws.grants()) {
+            let mut shard = lock_shard(cell);
             shard.policy.inner_mut().apply_feeder_grant(Some(grant));
         }
         MarketRound {
             epoch,
-            grants: alloc.grants,
-            spent: alloc.spent,
+            grants: ws.grants().to_vec(),
+            spent: outcome.spent,
             budget,
         }
     }
 
-    /// Advance every shard `ticks` control periods, one rack per worker.
+    /// Advance one shard `ticks` control periods under its collector.
     ///
-    /// Each worker re-installs its shard's collector (pool workers are
-    /// fresh threads with no inherited thread-locals), so per-rack
-    /// telemetry stays isolated exactly as in a [`Campaign`] run.
-    ///
-    /// [`Campaign`]: crate::exec::Campaign
-    fn step_epoch(&mut self, ticks: usize, exec: ExecConfig) {
-        let width = exec.resolved_jobs().min(self.shards.len()).max(1);
-        let body = |shard: &mut RackShard| {
-            telemetry::with_collector(Arc::clone(&shard.collector), || {
-                for _ in 0..ticks {
-                    shard.sim.step(&mut shard.policy, &mut shard.rec);
-                }
-            });
-        };
-        if width <= 1 {
-            for shard in self.shards.iter_mut() {
-                body(shard);
+    /// The collector is (re-)installed around every epoch step — pool
+    /// workers are long-lived and own several racks, so per-rack
+    /// telemetry isolation comes from the install, not thread identity.
+    fn step_shard(shard: &mut RackShard, ticks: usize) {
+        let collector = Arc::clone(&shard.collector);
+        let sim = &mut shard.sim;
+        let policy = &mut shard.policy;
+        let rec = &mut shard.rec;
+        telemetry::with_collector(collector, || {
+            for _ in 0..ticks {
+                sim.step(policy, rec);
             }
-        } else {
-            let pool = rayon::ThreadPoolBuilder::new()
-                .num_threads(width)
-                .build()
-                .unwrap_or_else(|e| panic!("building a {width}-thread pool cannot fail: {e}"));
-            pool.install(|| self.shards.par_iter_mut().for_each(body));
+        });
+    }
+
+    /// Persistent-pool worker: park on the barrier, step the owned rack
+    /// slice for the posted tick count, meet the end barrier, repeat
+    /// until `stop`. Panics are caught into the shared slot (the shard
+    /// mutex poisons too, which is fine — see [`lock_shard`]) so the
+    /// worker still reaches the end barrier and the driver can re-raise.
+    fn worker_loop(ctl: &EpochCtl, cells: &[Mutex<RackShard>]) {
+        loop {
+            ctl.barrier.wait();
+            if ctl.stop.load(Ordering::Acquire) {
+                return;
+            }
+            let ticks = ctl.ticks.load(Ordering::Acquire);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                for cell in cells {
+                    let mut shard = lock_shard(cell);
+                    Self::step_shard(&mut shard, ticks);
+                }
+            }));
+            if let Err(payload) = result {
+                let mut slot = ctl.panic.lock().unwrap_or_else(|e| e.into_inner());
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            ctl.barrier.wait();
         }
     }
 
-    /// Run the whole campaign: market rounds at every allocator
-    /// boundary, parallel epoch stepping between them, and the tree
-    /// replay behind each epoch. Consumes the sim (a run is one-shot).
-    pub fn run(mut self, exec: ExecConfig) -> DcRunOutput {
+    /// Vectorized tree replay of one epoch: fold every rack's recorded
+    /// breaker powers rack-ascending into contiguous per-PDU tick lanes
+    /// (`lanes[p · ticks + k]`), then step the shared breakers tick by
+    /// tick from the precomputed sums. Addition order per (PDU, tick)
+    /// is racks ascending — exactly the order `Datacenter::step` sums —
+    /// so the replay is bit-identical to the historical per-tick gather.
+    #[allow(clippy::too_many_arguments)]
+    fn replay_epoch(
+        &mut self,
+        cells: &[Mutex<RackShard>],
+        done: usize,
+        ticks: usize,
+        dt: Seconds,
+        lanes: &mut [f64],
+        tick_loads: &mut [f64],
+        pdu_delivered: &mut [f64],
+        pdu_tripped: &mut [bool],
+        agg: &mut DriveAgg,
+    ) {
+        let num_pdus = self.scenario.topo.num_pdus();
+        let lanes = &mut lanes[..num_pdus * ticks];
+        lanes.fill(0.0);
+        let mut rack = 0;
+        for (p, pdu) in self.scenario.topo.pdus.iter().enumerate() {
+            let lane = &mut lanes[p * ticks..(p + 1) * ticks];
+            for cell in &cells[rack..rack + pdu.num_racks] {
+                let mut shard = lock_shard(cell);
+                if let Some(src) = shard.rec.epoch_lane() {
+                    assert_eq!(
+                        src.len(),
+                        ticks,
+                        "epoch lane must hold exactly one epoch of samples"
+                    );
+                    for (slot, &w) in lane.iter_mut().zip(src) {
+                        assert!(w >= 0.0 && w.is_finite(), "invalid rack power");
+                        *slot += w;
+                    }
+                    shard.rec.clear_epoch_lane();
+                } else {
+                    let src = &shard.rec.samples()[done..done + ticks];
+                    for (slot, s) in lane.iter_mut().zip(src) {
+                        let w = s.cb_power.0;
+                        assert!(w >= 0.0 && w.is_finite(), "invalid rack power");
+                        *slot += w;
+                    }
+                }
+            }
+            rack += pdu.num_racks;
+        }
+        for k in 0..ticks {
+            for (p, load) in tick_loads.iter_mut().enumerate() {
+                *load = lanes[p * ticks + k];
+            }
+            let feeder = self
+                .dc
+                .step_pdu_loads(tick_loads, dt, pdu_delivered, pdu_tripped);
+            for (count, &tripped) in agg.pdu_trip_periods.iter_mut().zip(&*pdu_tripped) {
+                *count += tripped as u64;
+            }
+            agg.feeder_trip_periods += feeder.feeder_tripped as u64;
+            if feeder.feeder_load.0 > agg.peak_feeder_load.0 {
+                agg.peak_feeder_load = feeder.feeder_load;
+            }
+        }
+    }
+
+    /// The sequential drive loop: market round → epoch step (inline or
+    /// via the persistent pool) → tree replay, per epoch.
+    fn drive(&mut self, cells: &[Mutex<RackShard>], ctl: Option<&EpochCtl>) -> DriveAgg {
         let dt = self.scenario.base.dt;
         let total = (self.scenario.base.duration.0 / dt.0).round() as usize;
-        let mut rounds = Vec::with_capacity(total / self.epoch_ticks + 1);
-        let mut pdu_trip_periods = vec![0u64; self.scenario.topo.num_pdus()];
-        let mut feeder_trip_periods = 0u64;
-        let mut peak_feeder_load = Watts::ZERO;
-        let mut cb_scratch = vec![Watts::ZERO; self.shards.len()];
+        let num_pdus = self.scenario.topo.num_pdus();
+        let mut agg = DriveAgg {
+            rounds: Vec::with_capacity(total / self.epoch_ticks + 1),
+            pdu_trip_periods: vec![0u64; num_pdus],
+            feeder_trip_periods: 0,
+            peak_feeder_load: Watts::ZERO,
+        };
+        let mut bids: Vec<HeadroomBid> = Vec::with_capacity(cells.len());
+        let mut market_ws = MarketWorkspace::new();
+        let mut lanes = vec![0.0f64; num_pdus * self.epoch_ticks];
+        let mut tick_loads = vec![0.0f64; num_pdus];
+        let mut pdu_delivered = vec![0.0f64; num_pdus];
+        let mut pdu_tripped = vec![false; num_pdus];
 
         let mut done = 0;
         let mut epoch = 0;
@@ -413,50 +625,76 @@ impl DatacenterSim {
                 Seconds(done as f64 * dt.0),
                 Seconds(self.epoch_ticks as f64 * dt.0),
             );
-            rounds.push(self.market_round(epoch, budget));
-            self.step_epoch(ticks, exec);
-            // Replay the shared tree over the epoch's recorded rack
-            // breaker powers (cheap: one sum per PDU per tick).
-            for k in 0..ticks {
-                for (slot, shard) in cb_scratch.iter_mut().zip(&self.shards) {
-                    *slot = shard.rec.samples()[done + k].cb_power;
+            let round = self.market_round(cells, &mut bids, &mut market_ws, epoch, budget);
+            agg.rounds.push(round);
+            match ctl {
+                None => {
+                    for cell in cells {
+                        let mut shard = lock_shard(cell);
+                        Self::step_shard(&mut shard, ticks);
+                    }
                 }
-                let out = self.dc.step(&cb_scratch, dt);
-                for (count, &tripped) in pdu_trip_periods.iter_mut().zip(&out.pdu_tripped) {
-                    *count += tripped as u64;
-                }
-                feeder_trip_periods += out.feeder_tripped as u64;
-                if out.feeder_load.0 > peak_feeder_load.0 {
-                    peak_feeder_load = out.feeder_load;
+                Some(ctl) => {
+                    ctl.ticks.store(ticks, Ordering::Release);
+                    ctl.barrier.wait();
+                    ctl.barrier.wait();
+                    let payload = ctl.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+                    if let Some(payload) = payload {
+                        resume_unwind(payload);
+                    }
                 }
             }
+            self.replay_epoch(
+                cells,
+                done,
+                ticks,
+                dt,
+                &mut lanes,
+                &mut tick_loads,
+                &mut pdu_delivered,
+                &mut pdu_tripped,
+                &mut agg,
+            );
             done += ticks;
             epoch += 1;
         }
+        agg
+    }
 
-        // Finalize each shard exactly like `run_instrumented`: summary
-        // inside the collector scope, then flush and snapshot.
-        let racks: Vec<RunOutput> = self
-            .shards
-            .into_iter()
-            .map(|shard| {
-                let summary = telemetry::with_collector(Arc::clone(&shard.collector), || {
-                    RunSummary::from_run("SprintCon", &shard.sim, &shard.rec)
-                });
-                shard.collector.flush();
-                RunOutput {
-                    recorder: shard.rec,
-                    summary,
-                    metrics: shard.collector.snapshot(),
-                }
-            })
-            .collect();
+    /// Finalize each shard exactly like `run_instrumented`: summary
+    /// inside the collector scope, then flush and snapshot. Streaming
+    /// shards finish their fold and hand back the incrementally built
+    /// digest; full shards digest their retained trajectory — both land
+    /// on the same byte stream.
+    fn finalize(self, cells: Vec<Mutex<RackShard>>, agg: DriveAgg) -> DcRunOutput {
+        let mut racks = Vec::with_capacity(cells.len());
+        let mut rack_digests = Vec::with_capacity(cells.len());
+        for cell in cells {
+            let mut shard = cell.into_inner().unwrap_or_else(|e| e.into_inner());
+            shard.rec.finish_stream();
+            let summary = telemetry::with_collector(Arc::clone(&shard.collector), || {
+                RunSummary::from_run("SprintCon", &shard.sim, &shard.rec)
+            });
+            shard.collector.flush();
+            let metrics = shard.collector.snapshot();
+            let stream_digest = shard.rec.stream_digest().map(|mut h| {
+                digest_run_tail(&mut h, shard.rec.events(), &summary, &metrics);
+                h.finish()
+            });
+            let out = RunOutput {
+                recorder: shard.rec,
+                summary,
+                metrics,
+            };
+            rack_digests.push(stream_digest.unwrap_or_else(|| run_digest(&out)));
+            racks.push(out);
+        }
 
         let mut h = DigestBuilder::new();
-        for rack in &racks {
-            h.u64(run_digest(rack));
+        for &d in &rack_digests {
+            h.u64(d);
         }
-        for round in &rounds {
+        for round in &agg.rounds {
             h.u64(round.epoch as u64);
             h.f64(round.spent.0);
             h.f64(round.budget.0);
@@ -464,30 +702,90 @@ impl DatacenterSim {
                 h.f64(g.0);
             }
         }
-        for &t in &pdu_trip_periods {
+        for &t in &agg.pdu_trip_periods {
             h.u64(t);
         }
-        h.u64(feeder_trip_periods);
-        h.f64(peak_feeder_load.0);
+        h.u64(agg.feeder_trip_periods);
+        h.f64(agg.peak_feeder_load.0);
         let digest = h.finish();
 
         DcRunOutput {
             racks,
-            rounds,
+            rack_digests,
+            record_mode: self.record_mode,
+            rounds: agg.rounds,
             pdu_of: self.pdu_of,
             pdu_caps: self.pdu_caps,
             feeder_budget: self.feeder_budget,
-            pdu_trip_periods,
-            feeder_trip_periods,
-            peak_feeder_load,
+            pdu_trip_periods: agg.pdu_trip_periods,
+            feeder_trip_periods: agg.feeder_trip_periods,
+            peak_feeder_load: agg.peak_feeder_load,
             digest,
         }
     }
+
+    /// Run the whole campaign: market rounds at every allocator
+    /// boundary, parallel epoch stepping between them over a persistent
+    /// worker pool, and the vectorized tree replay behind each epoch.
+    /// Consumes the sim (a run is one-shot).
+    pub fn run(mut self, exec: ExecConfig) -> DcRunOutput {
+        let width = exec.resolved_jobs().min(self.shards.len()).max(1);
+        // Shards move into mutex cells so the pool's scoped threads can
+        // share them with the driver; each cell is only ever touched by
+        // one thread at a time (workers inside an epoch, the driver at
+        // the boundaries), the mutex just proves it to the compiler.
+        let cells: Vec<Mutex<RackShard>> = std::mem::take(&mut self.shards)
+            .into_iter()
+            .map(Mutex::new)
+            .collect();
+        let agg = if width <= 1 {
+            self.drive(&cells, None)
+        } else {
+            let ctl = EpochCtl::new(width);
+            let chunk = cells.len().div_ceil(width);
+            std::thread::scope(|scope| {
+                for w in 0..width {
+                    // Clamp both ends: ceil-division chunking can run a
+                    // trailing worker past the cell count, and every
+                    // worker must still reach the barrier.
+                    let lo = (w * chunk).min(cells.len());
+                    let hi = (lo + chunk).min(cells.len());
+                    let slice = &cells[lo..hi];
+                    let ctl = &ctl;
+                    scope.spawn(move || Self::worker_loop(ctl, slice));
+                }
+                // If the drive loop itself panics (market assert, replay
+                // shape assert, re-raised worker panic), still release
+                // the workers parked on the start barrier so the scope
+                // can join them, then re-raise.
+                let result = catch_unwind(AssertUnwindSafe(|| self.drive(&cells, Some(&ctl))));
+                ctl.stop.store(true, Ordering::Release);
+                ctl.barrier.wait();
+                match result {
+                    Ok(agg) => agg,
+                    Err(payload) => resume_unwind(payload),
+                }
+            })
+        };
+        self.finalize(cells, agg)
+    }
 }
 
-/// Build and run a datacenter campaign in one call.
+/// Build and run a datacenter campaign in one call
+/// ([`DcRecordMode::Full`] retention).
 pub fn run_datacenter(scenario: &DcScenario, exec: ExecConfig) -> Result<DcRunOutput, DcError> {
-    Ok(DatacenterSim::from_scenario(scenario)?.run(exec))
+    run_datacenter_with(scenario, exec, DcRecordMode::Full)
+}
+
+/// Build and run a datacenter campaign in one call, choosing the
+/// recording retention. [`DcRecordMode::Streaming`] is the floor-scale
+/// mode: O(racks) resident memory, bit-identical digests.
+pub fn run_datacenter_with(
+    scenario: &DcScenario,
+    exec: ExecConfig,
+    mode: DcRecordMode,
+) -> Result<DcRunOutput, DcError> {
+    Ok(DatacenterSim::from_scenario_with(scenario, mode)?.run(exec))
 }
 
 #[cfg(test)]
@@ -536,6 +834,7 @@ mod tests {
             run_digest(&standalone),
             "ample grants must be bit-transparent"
         );
+        assert_eq!(out.rack_digests[0], run_digest(&standalone));
     }
 
     #[test]
@@ -545,6 +844,38 @@ mod tests {
         for jobs in [2, 4] {
             let par = run_datacenter(&dc, ExecConfig::jobs(jobs)).unwrap();
             assert_eq!(seq.digest, par.digest, "jobs={jobs} diverged");
+        }
+    }
+
+    #[test]
+    fn streaming_mode_is_bit_identical_to_full_mode() {
+        let dc = DcScenario::new(quick_base(7), small_topo(5)).unwrap();
+        let full = run_datacenter(&dc, ExecConfig::sequential()).unwrap();
+        assert_eq!(full.record_mode, DcRecordMode::Full);
+        for exec in [
+            ExecConfig::sequential(),
+            ExecConfig::jobs(2),
+            ExecConfig::jobs(4),
+        ] {
+            let st = run_datacenter_with(&dc, exec, DcRecordMode::Streaming).unwrap();
+            assert_eq!(st.record_mode, DcRecordMode::Streaming);
+            assert_eq!(full.digest, st.digest, "floor digest diverged");
+            assert_eq!(full.rack_digests, st.rack_digests, "rack digest diverged");
+            assert_eq!(full.pdu_trip_periods, st.pdu_trip_periods);
+            assert_eq!(full.feeder_trip_periods, st.feeder_trip_periods);
+            assert!(
+                st.racks.iter().all(|r| r.recorder.samples().is_empty()),
+                "streaming mode must not retain trajectories"
+            );
+        }
+    }
+
+    #[test]
+    fn full_mode_rack_digests_match_run_digest() {
+        let dc = DcScenario::new(quick_base(3), small_topo(4)).unwrap();
+        let out = run_datacenter(&dc, ExecConfig::jobs(2)).unwrap();
+        for (rack, &d) in out.racks.iter().zip(&out.rack_digests) {
+            assert_eq!(d, run_digest(rack));
         }
     }
 

@@ -313,45 +313,71 @@ impl Campaign {
 /// Two runs of the same scenario/policy — sequential or parallel, on any
 /// thread — must produce equal digests; `bench_engine --check` and
 /// `tests/parallel.rs` enforce this.
+///
+/// Composed from [`digest_sample`] (once per sample, in order) followed
+/// by [`digest_run_tail`] — the same decomposition the streaming
+/// datacenter recorder uses to fold samples incrementally without
+/// retaining them, which is what makes streaming digests bit-identical
+/// to full-retention digests by construction.
 pub fn run_digest(out: &RunOutput) -> u64 {
-    let mut h = Fnv::new();
+    let mut h = DigestBuilder::new();
     for s in out.recorder.samples() {
-        h.f64(s.t.0);
-        h.f64(s.p_total.0);
-        h.f64(s.p_measured.0);
-        h.f64(s.p_server.0);
-        h.f64(s.p_fan.0);
-        h.f64(s.cb_power.0);
-        h.f64(s.ups_power.0);
-        h.f64(s.shortfall.0);
-        h.bool(s.tripped);
-        h.bool(s.breaker_closed);
-        h.f64(s.breaker_margin);
-        h.f64(s.ups_soc);
-        h.opt_f64(s.p_cb_target.map(|w| w.0));
-        h.opt_f64(s.p_batch_target.map(|w| w.0));
-        h.f64(s.mean_freq_interactive);
-        h.f64(s.mean_freq_batch);
-        h.f64(s.interactive_backlog);
-        // Open-loop queue observation: contributes bytes only when
-        // present, so closed-loop runs keep their pre-redesign digests
-        // bit-exactly (no None marker is hashed).
-        if let Some(q) = s.queue {
-            h.f64(q.depth);
-            h.f64(q.p50_s);
-            h.f64(q.p95_s);
-            h.f64(q.p99_s);
-            h.f64(q.arrived);
-            h.f64(q.completed);
-            h.f64(q.dropped);
-        }
-        h.str(&s.mode_label.to_string());
+        digest_sample(&mut h, s);
     }
-    for (t, e) in out.recorder.events() {
+    digest_run_tail(&mut h, out.recorder.events(), &out.summary, &out.metrics);
+    h.finish()
+}
+
+/// Fold one recorder [`Sample`](crate::recorder::Sample) into `h` — the per-sample section of
+/// [`run_digest`], exposed so a streaming recorder can hash samples at
+/// push time instead of retaining them.
+pub fn digest_sample(h: &mut DigestBuilder, s: &crate::recorder::Sample) {
+    h.f64(s.t.0);
+    h.f64(s.p_total.0);
+    h.f64(s.p_measured.0);
+    h.f64(s.p_server.0);
+    h.f64(s.p_fan.0);
+    h.f64(s.cb_power.0);
+    h.f64(s.ups_power.0);
+    h.f64(s.shortfall.0);
+    h.bool(s.tripped);
+    h.bool(s.breaker_closed);
+    h.f64(s.breaker_margin);
+    h.f64(s.ups_soc);
+    h.opt_f64(s.p_cb_target.map(|w| w.0));
+    h.opt_f64(s.p_batch_target.map(|w| w.0));
+    h.f64(s.mean_freq_interactive);
+    h.f64(s.mean_freq_batch);
+    h.f64(s.interactive_backlog);
+    // Open-loop queue observation: contributes bytes only when
+    // present, so closed-loop runs keep their pre-redesign digests
+    // bit-exactly (no None marker is hashed).
+    if let Some(q) = s.queue {
+        h.f64(q.depth);
+        h.f64(q.p50_s);
+        h.f64(q.p95_s);
+        h.f64(q.p99_s);
+        h.f64(q.arrived);
+        h.f64(q.completed);
+        h.f64(q.dropped);
+    }
+    h.str(&s.mode_label.to_string());
+}
+
+/// Fold everything [`run_digest`] hashes *after* the samples: the event
+/// log, the §VII summary, and the telemetry snapshot (minus `*.ns`
+/// wall-clock histograms). Call after the last [`digest_sample`].
+pub fn digest_run_tail(
+    h: &mut DigestBuilder,
+    events: &[(powersim::units::Seconds, crate::recorder::SimEvent)],
+    summary: &RunSummary,
+    metrics: &telemetry::MetricsSnapshot,
+) {
+    for (t, e) in events {
         h.f64(t.0);
         h.str(&format!("{e:?}"));
     }
-    let s = &out.summary;
+    let s = summary;
     h.str(&s.policy);
     h.f64(s.avg_freq_interactive);
     h.f64(s.avg_freq_batch);
@@ -377,7 +403,7 @@ pub fn run_digest(out: &RunOutput) -> u64 {
         h.f64(t.dropped);
         h.f64(t.drop_fraction);
     }
-    let m = &out.metrics;
+    let m = metrics;
     for (name, v) in &m.counters {
         h.str(name);
         h.u64(*v);
@@ -399,7 +425,6 @@ pub fn run_digest(out: &RunOutput) -> u64 {
         h.u64(hist.count);
         h.f64(hist.sum);
     }
-    h.finish()
 }
 
 /// Order-sensitive FNV-1a combiner for composite digests.
@@ -408,7 +433,11 @@ pub fn run_digest(out: &RunOutput) -> u64 {
 /// market-round grants and aggregate breaker outcomes into one
 /// deterministic digest; anything else that needs to hash structured
 /// results with the same bit-exact f64 semantics can reuse it.
-#[derive(Debug)]
+///
+/// `Clone` snapshots the accumulator state, which is how the streaming
+/// recorder hands its incremental sample fold to the finalizer while
+/// remaining usable itself.
+#[derive(Debug, Clone)]
 pub struct DigestBuilder(Fnv);
 
 impl Default for DigestBuilder {
@@ -436,6 +465,12 @@ impl DigestBuilder {
         self.0.bool(v);
     }
 
+    /// Hash `Some(v)`/`None` with an explicit presence marker byte
+    /// (matching [`run_digest`]'s treatment of optional targets).
+    pub fn opt_f64(&mut self, v: Option<f64>) {
+        self.0.opt_f64(v);
+    }
+
     pub fn str(&mut self, s: &str) {
         self.0.str(s);
     }
@@ -447,7 +482,7 @@ impl DigestBuilder {
 
 /// Minimal FNV-1a accumulator (no std `Hasher` detour: f64 hashing must
 /// be explicit about bit patterns).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Fnv(u64);
 
 impl Fnv {

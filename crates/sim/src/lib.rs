@@ -38,7 +38,10 @@ pub mod qos;
 pub mod recorder;
 pub mod scenario;
 
-pub use dc_engine::{run_datacenter, DatacenterSim, DcError, DcRunOutput, DcScenario, MarketRound};
+pub use dc_engine::{
+    run_datacenter, run_datacenter_with, DatacenterSim, DcError, DcRecordMode, DcRunOutput,
+    DcScenario, MarketRound,
+};
 pub use engine::{RackSim, TierState};
 pub use exec::{
     run_all_parallel, run_digest, sweep_parallel, Campaign, CampaignEntry, CampaignResult,

@@ -1,6 +1,28 @@
 //! Time-series recording of simulation runs, with CSV export and
 //! column-wise extraction for the figure harness.
+//!
+//! Two retention modes share one API:
+//!
+//! * **Full** (the default): every [`Sample`] is kept for the whole run
+//!   — what the figure harness, CSV export, and standalone [`run_digest`]
+//!   consume. Memory is O(ticks).
+//! * **Streaming** ([`Recorder::streaming`]): built for the datacenter
+//!   engine's 10k-rack floors, where whole-run retention at every rack
+//!   is the memory ceiling. Samples are *not* kept; instead each push
+//!   appends `cb_power` to a contiguous epoch lane (drained by the tree
+//!   replay at every allocator boundary) and folds the sample into an
+//!   incremental FNV digest plus the handful of running aggregates the
+//!   §VII summary reads ([`Recorder::ups_energy_wh`] & friends). The
+//!   folds replicate the full-retention accessors' accumulation order
+//!   exactly, so summaries — and therefore run digests — come out
+//!   **bit-identical** to a full-retention recorder of the same
+//!   trajectory (`bench_datacenter --check` and `tests/datacenter.rs`
+//!   enforce this). Events and the open-loop tail summary are kept in
+//!   both modes (both are bounded and both feed the digest tail).
+//!
+//! [`run_digest`]: crate::exec::run_digest
 
+use crate::exec::DigestBuilder;
 use crate::mode::ModeLabel;
 use powersim::units::{Seconds, Watts};
 use std::io::Write;
@@ -60,6 +82,114 @@ pub enum SimEvent {
     JobCompleted { core: usize },
 }
 
+/// Streaming-mode fold state: everything the summary and digest need
+/// from the samples, without the samples.
+#[derive(Debug, Clone)]
+struct StreamFold {
+    /// Contiguous `cb_power` lane of the current epoch, in push order;
+    /// the datacenter tree replay consumes and clears it every epoch.
+    lane: Vec<f64>,
+    /// Incremental fold of every pushed sample, in push order — the
+    /// per-sample section of [`crate::exec::run_digest`], bit for bit.
+    digest: DigestBuilder,
+    /// First two timestamps seen: the same `dt` derivation full
+    /// retention uses (`t1 − t0`, fallback 1 s below two samples).
+    t0: Option<f64>,
+    t1: Option<f64>,
+    /// Samples pushed before `dt` is known (at most the first one);
+    /// folded into the aggregates as soon as the second push fixes `dt`.
+    pending: Vec<Sample>,
+    /// Samples folded into the aggregates so far.
+    folded: usize,
+    sum_freq_interactive: f64,
+    sum_freq_batch: f64,
+    ups_energy_wh: f64,
+    cb_energy_wh: f64,
+    trip_count: usize,
+    first_shortfall: Option<Seconds>,
+}
+
+impl StreamFold {
+    fn new() -> Self {
+        StreamFold {
+            lane: Vec::new(),
+            digest: DigestBuilder::new(),
+            t0: None,
+            t1: None,
+            pending: Vec::new(),
+            folded: 0,
+            sum_freq_interactive: 0.0,
+            sum_freq_batch: 0.0,
+            ups_energy_wh: 0.0,
+            cb_energy_wh: 0.0,
+            trip_count: 0,
+            first_shortfall: None,
+        }
+    }
+
+    fn dt(&self) -> Option<Seconds> {
+        match (self.t0, self.t1) {
+            (Some(a), Some(b)) => Some(Seconds(b - a)),
+            _ => None,
+        }
+    }
+
+    /// Fold one sample into the running aggregates with the same
+    /// accumulation order as the full-retention accessors (`+=` from a
+    /// zero accumulator mirrors `Iterator::sum`'s left fold).
+    fn fold(&mut self, s: &Sample, dt: Seconds) {
+        self.folded += 1;
+        self.sum_freq_interactive += s.mean_freq_interactive;
+        self.sum_freq_batch += s.mean_freq_batch;
+        self.ups_energy_wh += s.ups_power.over(dt).0;
+        self.cb_energy_wh += s.cb_power.over(dt).0;
+        if s.tripped {
+            self.trip_count += 1;
+        }
+        if self.first_shortfall.is_none() && s.shortfall.0 > 1.0 {
+            self.first_shortfall = Some(s.t);
+        }
+    }
+
+    fn push(&mut self, s: Sample) {
+        self.lane.push(s.cb_power.0);
+        crate::exec::digest_sample(&mut self.digest, &s);
+        if self.t0.is_none() {
+            self.t0 = Some(s.t.0);
+        } else if self.t1.is_none() {
+            self.t1 = Some(s.t.0);
+        }
+        match self.dt() {
+            Some(dt) => {
+                // The second push fixes dt; flush the first sample (the
+                // only one that can be pending) before folding this one,
+                // preserving push order.
+                for i in 0..self.pending.len() {
+                    let p = self.pending[i].clone();
+                    self.fold(&p, dt);
+                }
+                self.pending.clear();
+                self.fold(&s, dt);
+            }
+            None => self.pending.push(s),
+        }
+    }
+
+    /// Fold any still-pending samples with the sub-two-sample fallback
+    /// `dt` of 1 s — exactly what full retention's `dt()` would use.
+    fn flush_pending(&mut self) {
+        for i in 0..self.pending.len() {
+            let p = self.pending[i].clone();
+            self.fold(&p, Seconds(1.0));
+        }
+        self.pending.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.folded + self.pending.len()
+    }
+}
+
 /// An append-only recording of one run.
 #[derive(Debug, Clone, Default)]
 pub struct Recorder {
@@ -68,6 +198,8 @@ pub struct Recorder {
     /// Whole-run request-latency tail summary (open-loop runs only);
     /// overwritten each tick with the cumulative sketch state.
     tail: Option<TailSummary>,
+    /// Streaming-mode fold state; `None` means full retention.
+    stream: Option<Box<StreamFold>>,
 }
 
 impl Recorder {
@@ -76,6 +208,58 @@ impl Recorder {
             samples: Vec::with_capacity(n),
             events: Vec::new(),
             tail: None,
+            stream: None,
+        }
+    }
+
+    /// A streaming recorder: samples are folded, not retained — see the
+    /// module docs for the contract. [`Recorder::samples`] stays empty;
+    /// use [`Recorder::epoch_lane`] for the current epoch's breaker
+    /// powers and the aggregate accessors for everything the summary
+    /// reads.
+    pub fn streaming() -> Self {
+        Recorder {
+            samples: Vec::new(),
+            events: Vec::new(),
+            tail: None,
+            stream: Some(Box::new(StreamFold::new())),
+        }
+    }
+
+    /// Whether this recorder folds instead of retaining samples.
+    pub fn is_streaming(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// Streaming mode: the contiguous `cb_power` lane of the current
+    /// epoch (everything pushed since the last
+    /// [`Recorder::clear_epoch_lane`]). `None` under full retention.
+    pub fn epoch_lane(&self) -> Option<&[f64]> {
+        self.stream.as_ref().map(|st| st.lane.as_slice())
+    }
+
+    /// Streaming mode: drop the current epoch lane (keeps its
+    /// allocation). No-op under full retention.
+    pub fn clear_epoch_lane(&mut self) {
+        if let Some(st) = &mut self.stream {
+            st.lane.clear();
+        }
+    }
+
+    /// Streaming mode: a snapshot of the incremental per-sample digest
+    /// fold — the exact state [`crate::exec::run_digest`] would be in
+    /// after hashing every pushed sample. Finish it with
+    /// [`crate::exec::digest_run_tail`]. `None` under full retention.
+    pub fn stream_digest(&self) -> Option<DigestBuilder> {
+        self.stream.as_ref().map(|st| st.digest.clone())
+    }
+
+    /// Streaming mode: finalize the aggregate folds (flushes a
+    /// sub-two-sample run with the same fallback `dt` full retention
+    /// uses). Idempotent; no-op under full retention.
+    pub fn finish_stream(&mut self) {
+        if let Some(st) = &mut self.stream {
+            st.flush_pending();
         }
     }
 
@@ -90,7 +274,10 @@ impl Recorder {
     }
 
     pub fn push(&mut self, s: Sample) {
-        self.samples.push(s);
+        match &mut self.stream {
+            Some(st) => st.push(s),
+            None => self.samples.push(s),
+        }
     }
 
     /// Record a discrete event at time `t`.
@@ -111,23 +298,35 @@ impl Recorder {
         self.events.iter().filter(move |(_, e)| pred(e))
     }
 
+    /// Samples pushed so far (both modes; streaming counts folded ones).
     pub fn len(&self) -> usize {
-        self.samples.len()
+        match &self.stream {
+            Some(st) => st.len(),
+            None => self.samples.len(),
+        }
     }
 
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.len() == 0
     }
 
+    /// The retained samples. Empty in streaming mode (which is the
+    /// point) — consumers that need trajectories (CSV export, column
+    /// extraction, figure harness) require full retention.
     pub fn samples(&self) -> &[Sample] {
         &self.samples
     }
 
     fn dt(&self) -> Seconds {
-        if self.samples.len() >= 2 {
-            Seconds(self.samples[1].t.0 - self.samples[0].t.0)
-        } else {
-            Seconds(1.0)
+        match &self.stream {
+            Some(st) => st.dt().unwrap_or(Seconds(1.0)),
+            None => {
+                if self.samples.len() >= 2 {
+                    Seconds(self.samples[1].t.0 - self.samples[0].t.0)
+                } else {
+                    Seconds(1.0)
+                }
+            }
         }
     }
 
@@ -136,39 +335,101 @@ impl Recorder {
         Trace::new(self.dt(), self.samples.iter().map(f).collect())
     }
 
+    /// Streaming mode: aggregates over folded samples plus any samples
+    /// still pending a `dt` (a sub-two-sample run), folded on the fly
+    /// with the same 1 s fallback full retention would apply — so the
+    /// accessor is exact at any point, not just after
+    /// [`Recorder::finish_stream`].
+    fn stream_with_pending<T>(
+        st: &StreamFold,
+        base: T,
+        fold: impl Fn(T, &Sample, Seconds) -> T,
+    ) -> T {
+        let mut acc = base;
+        for s in &st.pending {
+            acc = fold(acc, s, Seconds(1.0));
+        }
+        acc
+    }
+
     /// Total energy delivered by the UPS over the run, Wh.
     pub fn ups_energy_wh(&self) -> f64 {
-        let dt = self.dt();
-        self.samples.iter().map(|s| s.ups_power.over(dt).0).sum()
+        match &self.stream {
+            Some(st) => Self::stream_with_pending(st, st.ups_energy_wh, |acc, s, dt| {
+                acc + s.ups_power.over(dt).0
+            }),
+            None => {
+                let dt = self.dt();
+                self.samples.iter().map(|s| s.ups_power.over(dt).0).sum()
+            }
+        }
     }
 
     /// Total energy through the breaker, Wh.
     pub fn cb_energy_wh(&self) -> f64 {
-        let dt = self.dt();
-        self.samples.iter().map(|s| s.cb_power.over(dt).0).sum()
+        match &self.stream {
+            Some(st) => Self::stream_with_pending(st, st.cb_energy_wh, |acc, s, dt| {
+                acc + s.cb_power.over(dt).0
+            }),
+            None => {
+                let dt = self.dt();
+                self.samples.iter().map(|s| s.cb_power.over(dt).0).sum()
+            }
+        }
     }
 
     /// Number of breaker trips.
     pub fn trip_count(&self) -> usize {
-        self.samples.iter().filter(|s| s.tripped).count()
+        match &self.stream {
+            Some(st) => {
+                Self::stream_with_pending(st, st.trip_count, |acc, s, _| acc + s.tripped as usize)
+            }
+            None => self.samples.iter().filter(|s| s.tripped).count(),
+        }
     }
 
     /// First time the rack browned out, if ever.
     pub fn first_shortfall(&self) -> Option<Seconds> {
-        self.samples
-            .iter()
-            .find(|s| s.shortfall.0 > 1.0)
-            .map(|s| s.t)
+        match &self.stream {
+            Some(st) => Self::stream_with_pending(st, st.first_shortfall, |acc, s, _| {
+                if acc.is_none() && s.shortfall.0 > 1.0 {
+                    Some(s.t)
+                } else {
+                    acc
+                }
+            }),
+            None => self
+                .samples
+                .iter()
+                .find(|s| s.shortfall.0 > 1.0)
+                .map(|s| s.t),
+        }
     }
 
     /// Mean interactive frequency over the whole run (zeros included).
     pub fn avg_freq_interactive(&self) -> f64 {
-        mean(self.samples.iter().map(|s| s.mean_freq_interactive))
+        match &self.stream {
+            Some(st) => {
+                let sum = Self::stream_with_pending(st, st.sum_freq_interactive, |a, s, _| {
+                    a + s.mean_freq_interactive
+                });
+                mean_of(sum, st.len())
+            }
+            None => mean(self.samples.iter().map(|s| s.mean_freq_interactive)),
+        }
     }
 
     /// Mean batch frequency over the whole run (zeros included).
     pub fn avg_freq_batch(&self) -> f64 {
-        mean(self.samples.iter().map(|s| s.mean_freq_batch))
+        match &self.stream {
+            Some(st) => {
+                let sum = Self::stream_with_pending(st, st.sum_freq_batch, |a, s, _| {
+                    a + s.mean_freq_batch
+                });
+                mean_of(sum, st.len())
+            }
+            None => mean(self.samples.iter().map(|s| s.mean_freq_batch)),
+        }
     }
 
     /// Write the full recording as CSV.
@@ -217,6 +478,10 @@ impl Recorder {
 
 fn mean(it: impl Iterator<Item = f64>) -> f64 {
     let (sum, n) = it.fold((0.0, 0usize), |(s, n), v| (s + v, n + 1));
+    mean_of(sum, n)
+}
+
+fn mean_of(sum: f64, n: usize) -> f64 {
     if n == 0 {
         0.0
     } else {
@@ -308,6 +573,106 @@ mod tests {
         assert_eq!(lines[0].split(',').count(), 21);
         assert_eq!(lines[1].split(',').count(), 21);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streaming_fold_matches_full_retention_bit_for_bit() {
+        let mut full = Recorder::default();
+        let mut st = Recorder::streaming();
+        for k in 0..50 {
+            let mut s = sample(
+                k as f64 * 2.0,
+                100.0 + 3.7 * k as f64,
+                3000.0 - 11.0 * k as f64,
+            );
+            s.mean_freq_interactive = 0.5 + 0.01 * k as f64;
+            s.mean_freq_batch = 0.3 + 0.007 * k as f64;
+            if k % 7 == 0 {
+                s.tripped = true;
+            }
+            if k == 31 {
+                s.shortfall = Watts(600.0);
+            }
+            full.push(s.clone());
+            st.push(s);
+        }
+        st.finish_stream();
+        assert_eq!(st.len(), full.len());
+        assert_eq!(st.trip_count(), full.trip_count());
+        assert_eq!(st.first_shortfall(), full.first_shortfall());
+        assert_eq!(st.ups_energy_wh().to_bits(), full.ups_energy_wh().to_bits());
+        assert_eq!(st.cb_energy_wh().to_bits(), full.cb_energy_wh().to_bits());
+        assert_eq!(
+            st.avg_freq_interactive().to_bits(),
+            full.avg_freq_interactive().to_bits()
+        );
+        assert_eq!(
+            st.avg_freq_batch().to_bits(),
+            full.avg_freq_batch().to_bits()
+        );
+        // The epoch lane holds every cb_power pushed since the last clear.
+        let lane = st.epoch_lane().expect("streaming recorder has a lane");
+        assert_eq!(lane.len(), 50);
+        for (v, s) in lane.iter().zip(full.samples()) {
+            assert_eq!(v.to_bits(), s.cb_power.0.to_bits());
+        }
+        // And the incremental sample digest equals a from-scratch fold.
+        let mut h = crate::exec::DigestBuilder::new();
+        for s in full.samples() {
+            crate::exec::digest_sample(&mut h, s);
+        }
+        assert_eq!(
+            st.stream_digest().expect("streaming digest").finish(),
+            h.finish()
+        );
+        // Full retention exposes no streaming surface.
+        assert!(full.epoch_lane().is_none());
+        assert!(full.stream_digest().is_none());
+    }
+
+    #[test]
+    fn streaming_accessors_are_exact_mid_run_and_below_two_samples() {
+        // One sample: full retention falls back to dt = 1 s; streaming
+        // must agree even before finish_stream().
+        let mut full = Recorder::default();
+        let mut st = Recorder::streaming();
+        let s = sample(5.0, 200.0, 2800.0);
+        full.push(s.clone());
+        st.push(s);
+        assert_eq!(st.len(), 1);
+        assert_eq!(st.ups_energy_wh().to_bits(), full.ups_energy_wh().to_bits());
+        assert_eq!(
+            st.avg_freq_interactive().to_bits(),
+            full.avg_freq_interactive().to_bits()
+        );
+        // finish_stream is idempotent and changes nothing.
+        st.finish_stream();
+        st.finish_stream();
+        assert_eq!(st.ups_energy_wh().to_bits(), full.ups_energy_wh().to_bits());
+        // Empty streaming recorder behaves like an empty full one.
+        let empty = Recorder::streaming();
+        assert!(empty.is_empty());
+        assert_eq!(empty.avg_freq_batch(), 0.0);
+        assert_eq!(empty.first_shortfall(), None);
+    }
+
+    #[test]
+    fn epoch_lane_clears_without_losing_aggregates() {
+        let mut st = Recorder::streaming();
+        for k in 0..10 {
+            st.push(sample(k as f64, 50.0, 1000.0 + k as f64));
+        }
+        assert_eq!(st.epoch_lane().unwrap().len(), 10);
+        let energy_before = st.cb_energy_wh();
+        st.clear_epoch_lane();
+        assert!(st.epoch_lane().unwrap().is_empty());
+        assert_eq!(st.len(), 10, "clearing the lane must not drop samples");
+        assert_eq!(st.cb_energy_wh().to_bits(), energy_before.to_bits());
+        for k in 10..13 {
+            st.push(sample(k as f64, 50.0, 1000.0 + k as f64));
+        }
+        assert_eq!(st.epoch_lane().unwrap().len(), 3, "lane restarts per epoch");
+        assert_eq!(st.len(), 13);
     }
 
     #[test]

@@ -31,18 +31,24 @@ WHITELIST = {
         "mpc_hot_path.channels",
         "mpc_hot_path.periods",
         "mpc_hot_path.agreement.pass",
+        "mpc_hot_path.oracle_kernel.dim",
         "server_ticks.substrate.model_bit_identical",
     ],
     "BENCH_datacenter.json": [
         "racks",
         "secs",
+        "mode",
         "digest",
         "market_rounds",
         "peak_feeder_w",
         "feeder_trip_periods",
         "conserved",
         "determinism",
+        "record_mode_digest_match",
         "single_rack_equivalence",
+        "replay.racks",
+        "replay.ticks",
+        "replay.agreement",
     ],
     "BENCH_grid.json": [
         "seed",

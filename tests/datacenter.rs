@@ -7,10 +7,15 @@
 
 use powersim::datacenter::DatacenterTopology;
 use powersim::faults::FaultPlan;
+use powersim::grid::{GridEventKind, GridPlan};
 use powersim::units::{Seconds, Watts};
 use proptest::prelude::*;
 use simkit::{
-    run_datacenter, run_digest, run_policy, DcScenario, ExecConfig, PolicyKind, Scenario,
+    run_datacenter, run_datacenter_with, run_digest, run_policy, DcRecordMode, DcScenario,
+    ExecConfig, PolicyKind, Scenario,
+};
+use sprintcon::{
+    allocate_headroom_two_level, allocate_headroom_two_level_with, HeadroomBid, MarketWorkspace,
 };
 
 /// A rack template with an *active* stochastic fault plan: monitor
@@ -104,6 +109,85 @@ fn rack_zero_matches_standalone_even_in_a_multi_rack_floor() {
     assert_ne!(run_digest(&out.racks[1]), run_digest(&out.racks[0]));
 }
 
+/// Workspace reuse across differently shaped auctions is a pure
+/// optimization: a warm [`MarketWorkspace`] (scratch sized by earlier,
+/// larger markets) must clear every auction bit-identically to a fresh
+/// one and to the allocating Vec API. This is the integration-level
+/// twin of the engine's internal per-epoch reuse — `market_conserves`
+/// and the digest tests above only see the engine's own workspace, so
+/// this drives the API shape directly.
+#[test]
+fn market_workspace_reuse_is_deterministic_across_shapes() {
+    let auction = |n: usize, pdus: usize, salt: u64| {
+        let bids: Vec<HeadroomBid> = (0..n)
+            .map(|i| HeadroomBid {
+                id: i,
+                request: Watts(200.0 + ((i as u64 * 37 + salt * 11) % 700) as f64),
+                priority: 0.1 + ((i as u64 * 13 + salt * 7) % 10) as f64 / 10.0,
+            })
+            .collect();
+        let pdu_of: Vec<usize> = (0..n).map(|i| i % pdus).collect();
+        let caps: Vec<Watts> = (0..pdus).map(|p| Watts(600.0 + 150.0 * p as f64)).collect();
+        let budget = Watts(900.0 + 50.0 * salt as f64);
+        (bids, pdu_of, caps, budget)
+    };
+    let mut warm = MarketWorkspace::new();
+    // Warm the scratch on the largest shape first, then shrink — stale
+    // capacity and stale contents must never leak into later clears.
+    for (n, pdus, salt) in [(48, 6, 0u64), (9, 3, 1), (17, 4, 2), (3, 1, 3), (30, 5, 4)] {
+        let (bids, pdu_of, caps, budget) = auction(n, pdus, salt);
+        let warm_out = allocate_headroom_two_level_with(&mut warm, &bids, &pdu_of, &caps, budget);
+        let mut fresh = MarketWorkspace::new();
+        let fresh_out = allocate_headroom_two_level_with(&mut fresh, &bids, &pdu_of, &caps, budget);
+        let vec_api = allocate_headroom_two_level(&bids, &pdu_of, &caps, budget);
+        assert_eq!(warm_out.spent.0.to_bits(), fresh_out.spent.0.to_bits());
+        assert_eq!(warm_out.granted, fresh_out.granted);
+        assert_eq!(warm.grants().len(), n);
+        for (i, (w, f)) in warm.grants().iter().zip(fresh.grants()).enumerate() {
+            assert_eq!(
+                w.0.to_bits(),
+                f.0.to_bits(),
+                "n={n} salt={salt}: warm grant {i} diverged from fresh"
+            );
+        }
+        for (i, (w, v)) in warm.grants().iter().zip(&vec_api.grants).enumerate() {
+            assert_eq!(
+                w.0.to_bits(),
+                v.0.to_bits(),
+                "n={n} salt={salt}: workspace grant {i} diverged from Vec API"
+            );
+        }
+    }
+}
+
+/// The grid-plan shapes the streaming≡full sweep cycles through — each
+/// exercises a different supervisor escalation path during the run.
+fn grid_variant(v: usize, secs: f64, racks: usize) -> GridPlan {
+    let rated = racks as f64 * 3200.0;
+    match v % 4 {
+        0 => GridPlan::none(),
+        1 => GridPlan::curtailment(
+            Seconds(secs * 0.2),
+            Seconds(secs * 0.5),
+            Watts(rated * 0.95),
+            Seconds(10.0),
+        ),
+        2 => GridPlan::none().with_event(
+            Seconds(secs * 0.3),
+            Seconds(secs * 0.4),
+            GridEventKind::PriceSpike { multiplier: 3.0 },
+        ),
+        _ => GridPlan::none().with_event(
+            Seconds(secs * 0.1),
+            Seconds(secs * 0.6),
+            GridEventKind::FreqRegulation {
+                delta_w: Watts(-400.0),
+                duration_s: Seconds(secs * 0.5),
+            },
+        ),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -160,6 +244,68 @@ proptest! {
             // Grants are non-negative and finite.
             for g in &round.grants {
                 prop_assert!(g.0.is_finite() && g.0 >= 0.0, "bad grant {g}");
+            }
+        }
+    }
+
+    /// Streaming retention is a pure memory optimization: over random
+    /// scenario shapes (seed, length, batch pressure), fault plans, grid
+    /// plans, and worker counts, a streaming run must reproduce the
+    /// full-retention run's digest and per-rack digests bit for bit —
+    /// while actually discarding its per-period samples. (The datacenter
+    /// engine pins the SprintCon policy per rack; `job_scale`/`deadline`
+    /// vary the decisions it takes instead.)
+    #[test]
+    fn streaming_retention_reproduces_full_retention_digests(
+        seed in 0u64..1_000,
+        secs in 45.0f64..95.0,
+        job_scale in 0.6f64..1.2,
+        faulty_v in 0usize..2,
+        grid_v in 0usize..4,
+        jobs in 0usize..5,
+    ) {
+        let racks = 6;
+        let mut builder = Scenario::builder(seed)
+            .duration(Seconds(secs))
+            .deadline(Seconds(secs * 0.8))
+            .job_scale(job_scale)
+            .grid(grid_variant(grid_v, secs, racks));
+        let faulty = faulty_v == 1;
+        if faulty {
+            builder = builder.faults(FaultPlan::monitor_dropout(0.3, Seconds(8.0)));
+        }
+        let base = builder.build().expect("generated scenario is valid");
+        let dc = DcScenario::new(base, two_pdu_topo()).expect("scenario is valid");
+        let full = run_datacenter_with(&dc, ExecConfig::sequential(), DcRecordMode::Full)
+            .expect("full run succeeds");
+        let stream = run_datacenter_with(&dc, ExecConfig::jobs(jobs), DcRecordMode::Streaming)
+            .expect("streaming run succeeds");
+        prop_assert!(
+            stream.digest == full.digest,
+            "streaming digest diverged (seed {}, {:.0}s, faulty {}, grid {}, jobs {})",
+            seed, secs, faulty, grid_v, jobs
+        );
+        prop_assert_eq!(&stream.rack_digests, &full.rack_digests);
+        for (r, out) in stream.racks.iter().enumerate() {
+            prop_assert!(
+                out.recorder.samples().is_empty(),
+                "streaming rack {r} retained {} samples",
+                out.recorder.samples().len()
+            );
+        }
+        for (r, out) in full.racks.iter().enumerate() {
+            prop_assert!(
+                !out.recorder.samples().is_empty(),
+                "full-retention rack {r} kept no samples"
+            );
+        }
+        // Market rounds are part of the digest, but compare them
+        // directly too so a digest bug cannot mask a divergence.
+        prop_assert_eq!(stream.rounds.len(), full.rounds.len());
+        for (ra, rb) in stream.rounds.iter().zip(&full.rounds) {
+            prop_assert_eq!(ra.spent.0.to_bits(), rb.spent.0.to_bits());
+            for (ga, gb) in ra.grants.iter().zip(&rb.grants) {
+                prop_assert_eq!(ga.0.to_bits(), gb.0.to_bits());
             }
         }
     }
